@@ -1,0 +1,58 @@
+// Command bwtable regenerates the bisection-width results of the paper
+// (experiments E2, E4, E5): exact values on small networks, constructed
+// cuts and certified lower bounds on larger ones, and the sub-n
+// construction sweep that refutes the folklore BW(Bn) = n.
+//
+// Usage:
+//
+//	bwtable [-exact-nodes N] [-max-log 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exactNodes := flag.Int("exact-nodes", 32, "run the exact solver on networks up to this many nodes")
+	maxLog := flag.Int("max-log", 20, "largest log n for the sub-n construction sweep")
+	flag.Parse()
+
+	budget := core.BisectionBudget{ExactNodes: *exactNodes}
+
+	var butterflies []core.BisectionReport
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		butterflies = append(butterflies, core.ButterflyBisection(n, budget))
+	}
+	fmt.Print(core.RenderBisectionTable("BW(Bn): 2(√2−1)n + o(n), refuting folklore n (Thm 2.20)", butterflies))
+	fmt.Println()
+
+	var wrapped []core.BisectionReport
+	for _, n := range []int{4, 8, 16, 64, 256} {
+		wrapped = append(wrapped, core.WrappedBisection(n, budget))
+	}
+	fmt.Print(core.RenderBisectionTable("BW(Wn) = n (Lemma 3.2)", wrapped))
+	fmt.Println()
+
+	var cccs []core.BisectionReport
+	for _, n := range []int{8, 16, 64, 256} {
+		cccs = append(cccs, core.CCCBisection(n, budget))
+	}
+	fmt.Print(core.RenderBisectionTable("BW(CCCn) = n/2 (Lemma 3.3)", cccs))
+	fmt.Println()
+
+	var dims []int
+	for d := 6; d <= *maxLog; d++ {
+		dims = append(dims, d)
+	}
+	if len(dims) == 0 {
+		fmt.Fprintln(os.Stderr, "bwtable: -max-log below 6, skipping the sweep")
+		return
+	}
+	fmt.Print(core.RenderSubFolkloreTable(core.SubFolkloreSweep(dims)))
+
+	fmt.Printf("\nLemma 3.1 check: BW(B4, inputs) = %d (lemma: ≥ n = 4)\n", core.InputBisectionCheck(4))
+}

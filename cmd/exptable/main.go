@@ -1,0 +1,34 @@
+// Command exptable regenerates the §4.3 summary tables (experiments E6 and
+// E7): for each of the four expansion functions EE/NE on Wn/Bn, the
+// measured boundary of the paper's witness constructions (upper bounds),
+// the credit-scheme certified lower bounds evaluated on those witnesses,
+// the exact optima where enumerable, and the k/log k theory columns.
+//
+// Usage:
+//
+//	exptable [-n 256] [-max-d 4] [-exact-nodes 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	n := flag.Int("n", 256, "butterfly inputs (power of two)")
+	maxD := flag.Int("max-d", 4, "largest witness sub-butterfly dimension")
+	exactNodes := flag.Int("exact-nodes", 32, "exact enumeration budget (node count)")
+	flag.Parse()
+
+	dims := make([]int, 0, *maxD)
+	for d := 1; d <= *maxD; d++ {
+		dims = append(dims, d)
+	}
+	for _, kind := range []core.ExpansionKind{core.WnEdge, core.WnNode, core.BnEdge, core.BnNode} {
+		rows := core.ExpansionTable(kind, *n, dims, *exactNodes)
+		fmt.Print(core.RenderExpansionTable(rows))
+		fmt.Println()
+	}
+}

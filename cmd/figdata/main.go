@@ -1,0 +1,47 @@
+// Command figdata emits the two figure-like series of the reproduction as
+// CSV, ready for plotting: the BW(Bn)/n construction ratio against log n
+// (Theorem 2.20's convergence), and BW(MOS_{j,j},M2)/j² against j
+// (Lemma 2.19's convergence). Columns include the theory limits.
+//
+// Usage:
+//
+//	figdata -series bisection [-max-log 30]
+//	figdata -series mos [-max-j 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/construct"
+	"repro/internal/mos"
+)
+
+func main() {
+	series := flag.String("series", "bisection", `"bisection" or "mos"`)
+	maxLog := flag.Int("max-log", 30, "largest log n for the bisection series")
+	maxJ := flag.Int("max-j", 1024, "largest j for the mos series")
+	flag.Parse()
+
+	switch *series {
+	case "bisection":
+		fmt.Println("log_n,j,a,b,capacity_over_n,folklore,theory_limit")
+		for d := 6; d <= *maxLog; d++ {
+			p := construct.BestPlan(1 << d)
+			fmt.Printf("%d,%d,%d,%d,%.6f,1.0,%.6f\n",
+				d, p.J, p.A, p.B, p.Ratio, construct.TheoreticalRatio)
+		}
+	case "mos":
+		fmt.Println("j,capacity,ratio,x,y,limit")
+		for j := 2; j <= *maxJ; j *= 2 {
+			r := mos.M2BisectionWidth(j)
+			fmt.Printf("%d,%d,%.6f,%.6f,%.6f,%.6f\n",
+				r.J, r.Capacity, r.Ratio,
+				float64(r.A)/float64(r.J), float64(r.B)/float64(r.J), mos.Limit)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "figdata: unknown series %q\n", *series)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,27 @@
+// Command mostable regenerates experiment E3: the exact M2-bisection width
+// of the mesh of stars MOS_{j,j} for a sweep of j, showing
+// BW(MOS_{j,j},M2)/j² descending to √2−1 and the optimal class fractions
+// converging to (√½,√½) (Lemmas 2.17–2.19).
+//
+// Usage:
+//
+//	mostable [-max-j 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	maxJ := flag.Int("max-j", 1024, "largest j in the sweep (doubling from 2)")
+	flag.Parse()
+
+	var js []int
+	for j := 2; j <= *maxJ; j *= 2 {
+		js = append(js, j)
+	}
+	fmt.Print(core.RenderMOSTable(core.MOSConvergence(js)))
+}

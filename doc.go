@@ -1,0 +1,9 @@
+// Package repro is a full reproduction of Bornstein, Litman, Maggs,
+// Sitaraman and Yatzkar, "On the Bisection Width and Expansion of Butterfly
+// Networks" (IPPS 1998; Theory of Computing Systems 34, 2001).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), the experiment executables under cmd/, runnable walkthroughs
+// under examples/, and the per-table benchmarks in bench_test.go at this
+// root. EXPERIMENTS.md records paper-vs-measured for every result.
+package repro

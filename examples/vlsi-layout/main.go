@@ -1,0 +1,40 @@
+// vlsi-layout lays butterflies out on the Thompson grid (§1.1/§1.2): it
+// compares the packed router's Θ(n²) area against the naive Θ(n²·log n)
+// one, checks Thompson's A ≥ BW² against the constructed bisection width,
+// and prints the track budget per level gap for one instance.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/construct"
+	"repro/internal/layout"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Println("Thompson-grid layouts of Bn (validated: no two wires share a track)")
+	fmt.Println()
+	fmt.Println("   n     packed area   area/n²   naive area   BW²     A ≥ BW²")
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		b := topology.NewButterfly(n)
+		packed := layout.New(b, layout.Packed)
+		if err := packed.Validate(); err != nil {
+			panic(err)
+		}
+		naive := layout.New(b, layout.Naive)
+		bw := construct.BestPlan(n).Capacity
+		fmt.Printf("  %5d  %12d  %8.3f  %11d  %8d  %v\n",
+			n, packed.Area(), packed.AreaRatio(), naive.Area(), bw*bw,
+			packed.ThompsonConsistent(bw))
+	}
+
+	fmt.Println("\ntrack budget per level gap of B64 (packed: 2·span per gap):")
+	b := topology.NewButterfly(64)
+	l := layout.New(b, layout.Packed)
+	for gap, tracks := range l.TracksPerGap {
+		fmt.Printf("  levels %d→%d: %2d tracks (cross wires span %d columns)\n",
+			gap, gap+1, tracks, 1<<(b.Dim()-gap-1))
+	}
+	fmt.Printf("total grid: %d × %d = %d\n", l.Width, l.Height, l.Area())
+}

@@ -1,0 +1,225 @@
+package compactness
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestLemma28TailIsCompactExhaustive(t *testing.T) {
+	// Lemma 2.8: U = L1 ∪ ... ∪ L_log n is compact in Bn. Exhaustive over
+	// all 2^12 cuts of B4.
+	b := topology.NewButterfly(4)
+	var u []int
+	for i := 1; i <= b.Dim(); i++ {
+		u = append(u, b.LevelNodes(i)...)
+	}
+	if !VerifyCompactAllCuts(b.Graph, u) {
+		t.Errorf("L1..Llogn of B4 is not compact (contradicts Lemma 2.8)")
+	}
+}
+
+func TestLemma29ComponentsCompactRandom(t *testing.T) {
+	// Lemma 2.9: each connected component of Bn[i, log n] is compact in Bn.
+	// Random-cut verification on B8.
+	b := topology.NewButterfly(8)
+	for i := 1; i <= b.Dim(); i++ {
+		for _, comp := range b.LevelRangeComponents(i, b.Dim()) {
+			if bad := VerifyCompactRandomCuts(b.Graph, comp.Nodes(), 300, int64(i)); bad != nil {
+				t.Fatalf("component of B8[%d,%d] not compact for some cut", i, b.Dim())
+			}
+		}
+	}
+}
+
+func TestLemma29Exhaustive(t *testing.T) {
+	// Exhaustive analogue on B4 (12 nodes).
+	b := topology.NewButterfly(4)
+	for i := 1; i <= b.Dim(); i++ {
+		for _, comp := range b.LevelRangeComponents(i, b.Dim()) {
+			if !VerifyCompactAllCuts(b.Graph, comp.Nodes()) {
+				t.Fatalf("component of B4[%d,%d] not compact", i, b.Dim())
+			}
+		}
+	}
+}
+
+func TestNotEverySetIsCompact(t *testing.T) {
+	// Sanity: a single interior node of a path is NOT compact: the cut
+	// isolating it gets strictly cheaper by consolidation... it does, so
+	// pick a genuinely non-compact example: the two endpoints of P4 {0,3}
+	// against the cut S={0,1}: moving both to S gives {0,1,3} capacity 2;
+	// moving both out gives {1} capacity 2; original capacity 1.
+	bld := graph.NewBuilder(4)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(1, 2)
+	bld.AddEdge(2, 3)
+	g := bld.Build()
+	side := []bool{true, true, false, false}
+	if IsCompactForCut(g, []int{0, 3}, side) {
+		t.Errorf("{0,3} should not be compact for S={0,1} in P4")
+	}
+	if VerifyCompactAllCuts(g, []int{0, 3}) {
+		t.Errorf("exhaustive check should find the violation")
+	}
+}
+
+func TestMoveSetCapacities(t *testing.T) {
+	bld := graph.NewBuilder(3)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(1, 2)
+	g := bld.Build()
+	inS, inSbar := MoveSetCapacities(g, []int{1}, []bool{true, false, false})
+	// U={1} into S: S={0,1}, capacity 1. Into S̄: S={0}, capacity 1.
+	if inS != 1 || inSbar != 1 {
+		t.Errorf("capacities %d,%d, want 1,1", inS, inSbar)
+	}
+}
+
+func TestIsAmenableForCutSimple(t *testing.T) {
+	// On a path 0-1-2-3 with S = {0}: U = {1,2} is amenable: k=0 (S={0},
+	// cap 1), k=1 ({0,1}, cap 1), k=2 ({0,1,2}, cap 1).
+	bld := graph.NewBuilder(4)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(1, 2)
+	bld.AddEdge(2, 3)
+	g := bld.Build()
+	if !IsAmenableForCut(g, []int{1, 2}, []bool{true, false, false, false}) {
+		t.Errorf("path interior should be amenable")
+	}
+	// U = {1,3} (skipping 2) is not: k=2 forces S ⊇ {0,1,3} with capacity 2
+	// ... capacity({0,1,3}) = edges {1,2},{2,3} = 2 > 1.
+	if IsAmenableForCut(g, []int{1, 3}, []bool{true, false, false, false}) {
+		t.Errorf("{1,3} should not be amenable w.r.t. S={0}")
+	}
+}
+
+func TestLemma215FrontierAmenability(t *testing.T) {
+	// Lemma 2.15: a connected component U of Bn[1, log n − 1] is amenable
+	// with respect to any cut placing N(U)∩L0 in S and N(U)∩Llogn in S̄.
+	// Frontier assignments realize every k without exceeding the capacity.
+	b := topology.NewButterfly(8)
+	for _, comp := range b.LevelRangeComponents(1, b.Dim()-1) {
+		// Build a cut satisfying the premise: top neighbors in S, bottom
+		// neighbors in S̄, everything else random, component arbitrary.
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 25; trial++ {
+			side := make([]bool, b.N())
+			for v := range side {
+				side[v] = rng.Intn(2) == 0
+			}
+			for _, v := range cut.NodeBoundary(b.Graph, comp.Nodes()) {
+				side[v] = b.Level(v) == 0 // top neighbors in S, bottom in S̄
+			}
+			if k := VerifyFrontierAmenability(b.Graph, comp, side, true); k >= 0 {
+				t.Fatalf("frontier amenability failed at k=%d", k)
+			}
+		}
+	}
+}
+
+func TestLemma215FullEnumerationOnB4(t *testing.T) {
+	// On B4, components of B4[1, 1] are tiny (2 nodes); check the full
+	// amenability definition, not just frontier witnesses.
+	b := topology.NewButterfly(4)
+	for _, comp := range b.LevelRangeComponents(1, 1) {
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 50; trial++ {
+			side := make([]bool, b.N())
+			for v := range side {
+				side[v] = rng.Intn(2) == 0
+			}
+			for _, v := range cut.NodeBoundary(b.Graph, comp.Nodes()) {
+				side[v] = b.Level(v) < 1
+			}
+			if !IsAmenableForCut(b.Graph, comp.Nodes(), side) {
+				t.Fatalf("B4[1,1] component not amenable under the premise")
+			}
+		}
+	}
+}
+
+func TestFrontierAssignmentShape(t *testing.T) {
+	b := topology.NewButterfly(8)
+	comp := b.LevelRangeComponents(1, 2)[0]
+	side := make([]bool, b.N())
+	FrontierAssignment(comp, 3, true, side)
+	// Exactly 3 nodes of the component in S, and they occupy the topmost
+	// levels first.
+	count := 0
+	minLevelOut := 1 << 30
+	maxLevelIn := -1
+	for _, v := range comp.Nodes() {
+		if side[v] {
+			count++
+			if b.Level(v) > maxLevelIn {
+				maxLevelIn = b.Level(v)
+			}
+		} else if b.Level(v) < minLevelOut {
+			minLevelOut = b.Level(v)
+		}
+	}
+	if count != 3 {
+		t.Fatalf("placed %d nodes, want 3", count)
+	}
+	if maxLevelIn > minLevelOut {
+		t.Errorf("frontier not monotone: in up to level %d, out from level %d", maxLevelIn, minLevelOut)
+	}
+}
+
+func TestVerifyCompactAllCutsSizeGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("oversized exhaustive check did not panic")
+		}
+	}()
+	VerifyCompactAllCuts(topology.NewButterfly(8).Graph, []int{0})
+}
+
+func TestLemma28PathCertificate(t *testing.T) {
+	// The constructive Lemma 2.8 argument: for random cuts of B8 and B16,
+	// the routed-path certificate (2·|minority ∩ L0| edge-disjoint
+	// crossing paths) is a sound lower bound on the cut capacity.
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{8, 16} {
+		b := topology.NewButterfly(n)
+		for trial := 0; trial < 30; trial++ {
+			side := make([]bool, b.N())
+			for v := range side {
+				side[v] = rng.Intn(2) == 0
+			}
+			bound, ok := Lemma28PathCertificate(b, side)
+			if !ok {
+				t.Fatalf("B%d trial %d: certificate failed to build", n, trial)
+			}
+			capacity := cut.New(b.Graph, append([]bool(nil), side...)).Capacity()
+			if bound > capacity {
+				t.Fatalf("B%d: certified bound %d exceeds capacity %d", n, bound, capacity)
+			}
+		}
+	}
+}
+
+func TestLemma28CertificateTightOnLevelCut(t *testing.T) {
+	// For the cut S = L1..Llogn (Ā = L0 entirely on one side... take S =
+	// everything except half of L0): with exactly n/2 of L0 in Ā the
+	// certificate yields 2·(n/2) = n, and the column cut realizes exactly
+	// that capacity... here check on the column bisection, where the bound
+	// is n and the capacity is n: equality.
+	b := topology.NewButterfly(8)
+	side := make([]bool, b.N())
+	for v := 0; v < b.N(); v++ {
+		side[v] = b.Column(v) < 4
+	}
+	bound, ok := Lemma28PathCertificate(b, side)
+	if !ok {
+		t.Fatalf("certificate failed")
+	}
+	capacity := cut.New(b.Graph, append([]bool(nil), side...)).Capacity()
+	if bound != 8 || capacity != 8 {
+		t.Errorf("bound %d, capacity %d; want both 8 (tight)", bound, capacity)
+	}
+}

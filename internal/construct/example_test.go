@@ -1,0 +1,21 @@
+package construct_test
+
+import (
+	"fmt"
+
+	"repro/internal/construct"
+)
+
+func ExampleBestPlan() {
+	// The Theorem 2.20 headline: an explicit bisection of B_{2^15} with
+	// capacity strictly below the folklore value n, verified virtually.
+	p := construct.BestPlan(1 << 15)
+	capacity, sizeA := p.EvaluateVirtual()
+	fmt.Println("capacity:", capacity)
+	fmt.Println("folklore:", 1<<15)
+	fmt.Println("balanced:", sizeA == (1<<15)*(p.Dim+1)/2)
+	// Output:
+	// capacity: 30720
+	// folklore: 32768
+	// balanced: true
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/construct"
+	"repro/internal/embed"
+	"repro/internal/exact"
+	"repro/internal/heuristic"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// BisectionReport collects everything this reproduction knows about the
+// bisection width of one network instance (experiments E2, E4, E5).
+type BisectionReport struct {
+	Network string
+	Nodes   int
+	Edges   int
+
+	// Exact is the true BW from branch-and-bound, or Unknown beyond the
+	// exact-size budget.
+	Exact int
+	// Heuristic is the best upper bound found by FM multi-start search, or
+	// Unknown if skipped.
+	Heuristic int
+	// Constructed is the capacity of the paper's explicit cut (column cut,
+	// sub-n plan, or dimension cut).
+	Constructed int
+	// LowerBound is a certified lower bound (embedding congestion
+	// argument), or Unknown.
+	LowerBound int
+	// Theory is the paper's asymptotic value for this network.
+	Theory float64
+	// TheoryLabel names the paper result backing Theory.
+	TheoryLabel string
+}
+
+// BisectionBudget bounds the expensive computations in a report.
+type BisectionBudget struct {
+	// ExactNodes is the largest node count on which the exact solver runs
+	// (default 32: B8/W8-scale; 0 disables).
+	ExactNodes int
+	// HeuristicNodes is the largest node count for heuristic search
+	// (default 16384; 0 disables).
+	HeuristicNodes int
+	// MaterializeNodes is the largest node count for which the butterfly
+	// graph is built; beyond it, constructed cuts are evaluated virtually
+	// (default 1<<22).
+	MaterializeNodes int
+}
+
+func (b BisectionBudget) withDefaults() BisectionBudget {
+	if b.ExactNodes == 0 {
+		b.ExactNodes = 32
+	}
+	if b.HeuristicNodes == 0 {
+		b.HeuristicNodes = 16384
+	}
+	if b.MaterializeNodes == 0 {
+		b.MaterializeNodes = 1 << 22
+	}
+	return b
+}
+
+// ButterflyBisection analyzes BW(Bn) (experiment E2, Theorem 2.20).
+func ButterflyBisection(n int, budget BisectionBudget) BisectionReport {
+	budget = budget.withDefaults()
+	d := log2(n)
+	nodes := n * (d + 1)
+	rep := BisectionReport{
+		Network:     fmt.Sprintf("B%d", n),
+		Nodes:       nodes,
+		Edges:       2 * n * d,
+		Exact:       Unknown,
+		Heuristic:   Unknown,
+		LowerBound:  n / 2, // the §1.4 2K_N-embedding bound
+		Theory:      TheoreticalBisectionRatio * float64(n),
+		TheoryLabel: "2(√2−1)n + o(n) (Thm 2.20)",
+	}
+
+	if nodes <= budget.MaterializeNodes {
+		b := topology.NewButterfly(n)
+		if n >= 4 {
+			rep.Constructed = construct.BestPlan(n).Build(b).Capacity()
+		} else {
+			// B2 is too small for the class-grid plan; the folklore column
+			// cut is the construction.
+			rep.Constructed = construct.ColumnBisection(b).Capacity()
+		}
+		if nodes <= budget.ExactNodes {
+			_, rep.Exact = exact.MinBisectionWithBound(b.Graph, rep.Constructed)
+		}
+		if nodes <= budget.HeuristicNodes {
+			h := heuristic.BisectParallel(b.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1})
+			rep.Heuristic = h.Capacity()
+		}
+		if nodes <= budget.ExactNodes {
+			// Recompute the embedding-based bound exactly rather than
+			// quoting n/2.
+			e := embed.DoubledCompleteIntoButterfly(b)
+			rep.LowerBound = e.BisectionLowerBound(embed.DoubledCompleteBisectionWidth(nodes))
+		}
+	} else {
+		capacity, sizeA := construct.BestPlan(n).EvaluateVirtual()
+		if sizeA != nodes/2 {
+			panic("core: virtual plan is not balanced")
+		}
+		rep.Constructed = capacity
+	}
+	return rep
+}
+
+// WrappedBisection analyzes BW(Wn) = n (experiment E4, Lemma 3.2).
+func WrappedBisection(n int, budget BisectionBudget) BisectionReport {
+	budget = budget.withDefaults()
+	d := log2(n)
+	rep := BisectionReport{
+		Network:     fmt.Sprintf("W%d", n),
+		Nodes:       n * d,
+		Edges:       2 * n * d,
+		Exact:       Unknown,
+		Heuristic:   Unknown,
+		LowerBound:  Unknown,
+		Theory:      float64(n),
+		TheoryLabel: "n (Lemma 3.2)",
+	}
+	w := topology.NewWrappedButterfly(n)
+	rep.Constructed = construct.ColumnBisection(w).Capacity()
+	if rep.Nodes <= budget.ExactNodes {
+		_, rep.Exact = exact.MinBisectionWithBound(w.Graph, rep.Constructed)
+	}
+	if rep.Nodes <= budget.HeuristicNodes {
+		rep.Heuristic = heuristic.BisectParallel(w.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1}).Capacity()
+	}
+	return rep
+}
+
+// CCCBisection analyzes BW(CCCn) = n/2 (experiment E5, Lemma 3.3).
+func CCCBisection(n int, budget BisectionBudget) BisectionReport {
+	budget = budget.withDefaults()
+	d := log2(n)
+	rep := BisectionReport{
+		Network:     fmt.Sprintf("CCC%d", n),
+		Nodes:       n * d,
+		Edges:       3 * n * d / 2,
+		Exact:       Unknown,
+		Heuristic:   Unknown,
+		LowerBound:  Unknown,
+		Theory:      float64(n) / 2,
+		TheoryLabel: "n/2 (Lemma 3.3)",
+	}
+	c := topology.NewCCC(n)
+	rep.Constructed = construct.CCCDimensionCut(c).Capacity()
+	if rep.Nodes <= budget.ExactNodes {
+		_, rep.Exact = exact.MinBisectionWithBound(c.Graph, rep.Constructed)
+	}
+	if rep.Nodes <= budget.HeuristicNodes {
+		rep.Heuristic = heuristic.BisectParallel(c.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1}).Capacity()
+	}
+	return rep
+}
+
+// InputBisectionCheck verifies Lemma 3.1 computationally: the minimum
+// capacity of a cut of Bn bisecting its inputs, which the lemma proves is
+// at least n. Exact for small n.
+func InputBisectionCheck(n int) (width int) {
+	b := topology.NewButterfly(n)
+	_, width = exact.MinSubsetBisection(b.Graph, b.InputNodes())
+	return width
+}
+
+// RenderBisectionTable renders E2/E4/E5 reports as one table.
+func RenderBisectionTable(title string, reports []BisectionReport) string {
+	t := tablefmt.New(title,
+		"network", "nodes", "exact", "heuristic", "constructed", "lower", "theory", "constructed/n-style ratio")
+	for _, r := range reports {
+		ratio := float64(r.Constructed) / r.Theory
+		t.AddRow(r.Network, r.Nodes, fmtOrDash(r.Exact), fmtOrDash(r.Heuristic),
+			r.Constructed, fmtOrDash(r.LowerBound), r.Theory, ratio)
+	}
+	return t.String()
+}
+
+// SubFolkloreSweep returns the best sub-n plan per size — the series behind
+// the headline Theorem 2.20 plot: constructed-capacity/n falling from the
+// folklore 1.0 toward 2(√2−1) ≈ 0.828.
+func SubFolkloreSweep(dims []int) []construct.Plan {
+	plans := make([]construct.Plan, 0, len(dims))
+	for _, d := range dims {
+		plans = append(plans, *construct.BestPlan(1 << d))
+	}
+	return plans
+}
+
+// RenderSubFolkloreTable renders the sweep.
+func RenderSubFolkloreTable(plans []construct.Plan) string {
+	t := tablefmt.New("BW(Bn) upper bound: the §2 construction vs the folklore value n",
+		"log n", "j", "a", "b", "capacity/n", "folklore", "theory limit")
+	for i := range plans {
+		p := &plans[i]
+		t.AddRow(p.Dim, p.J, p.A, p.B, p.Ratio, 1.0, TheoreticalBisectionRatio)
+	}
+	return t.String()
+}
+
+func log2(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}

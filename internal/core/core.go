@@ -1,0 +1,30 @@
+// Package core is the top-level analysis API of this reproduction of
+// Bornstein, Litman, Maggs, Sitaraman and Yatzkar, "On the Bisection Width
+// and Expansion of Butterfly Networks" (IPPS'98 / Theory Comput. Systems
+// 34, 2001).
+//
+// Each experiment of DESIGN.md has a function here that assembles the
+// relevant machinery — exact branch-and-bound solvers, heuristic search,
+// the paper's constructions, embedding-based and credit-certified lower
+// bounds — into a structured report, plus a renderer producing the table
+// the paper's evaluation corresponds to. The cmd/ tools and the repository
+// benchmarks are thin wrappers over this package.
+package core
+
+import "math"
+
+// Unknown marks a quantity that was not computed at the requested size
+// (e.g. an exact optimum beyond the branch-and-bound budget).
+const Unknown = -1
+
+// TheoreticalBisectionRatio is 2(√2−1), the Theorem 2.20 constant for
+// BW(Bn)/n.
+var TheoreticalBisectionRatio = 2 * (math.Sqrt2 - 1)
+
+// fmtOrDash renders v, or "-" when it is Unknown.
+func fmtOrDash(v int) interface{} {
+	if v == Unknown {
+		return "-"
+	}
+	return v
+}

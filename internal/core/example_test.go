@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func ExampleButterflyBisection() {
+	// One line of the E2 table: B4's exact width, the §1.4 lower bound,
+	// and the constructed cut.
+	r := core.ButterflyBisection(4, core.BisectionBudget{ExactNodes: 32})
+	fmt.Println("network:", r.Network)
+	fmt.Println("exact BW:", r.Exact)
+	fmt.Println("constructed:", r.Constructed)
+	fmt.Println("lower bound:", r.LowerBound)
+	// Output:
+	// network: B4
+	// exact BW: 4
+	// constructed: 4
+	// lower bound: 2
+}
+
+func ExampleMOSConvergence() {
+	for _, r := range core.MOSConvergence([]int{16, 256}) {
+		fmt.Printf("j=%d ratio=%.4f\n", r.J, r.Ratio)
+	}
+	// Output:
+	// j=16 ratio=0.4297
+	// j=256 ratio=0.4143
+}

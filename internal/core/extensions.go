@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/construct"
+	"repro/internal/embed"
+	"repro/internal/emulation"
+	"repro/internal/exact"
+	"repro/internal/expansion"
+	"repro/internal/layout"
+	"repro/internal/spread"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+	"repro/internal/transmute"
+	"repro/internal/variants"
+)
+
+// VariantRow is one row of the §1.6 related-bounds table (experiment E12):
+// Snir's Ω_n port-counting expansion and the Hong–Kung separator bound.
+type VariantRow struct {
+	N int
+	K int
+	// OmegaC is the measured (or exact, when OmegaExact) ported boundary
+	// of Ω_n at size k.
+	OmegaC     int
+	OmegaExact bool
+	SnirHolds  bool // C·log C ≥ 4k
+	// HKSeparator is the minimum input separator |D| for the FFT_n set.
+	HKSeparator int
+	HKHolds     bool // k ≤ 2|D|·log|D|
+}
+
+// VariantsTable evaluates §1.6 on witness-style sets. For small base
+// networks the Ω_n boundary is exact; otherwise it is the witness value.
+func VariantsTable(n int, dims []int, exactNodes int) []VariantRow {
+	omega := variants.NewOmega(n)
+	fft := variants.NewFFT(n)
+	var rows []VariantRow
+	for _, d := range dims {
+		set := expansion.BnEdgeWitness(omega.Base, minInt(d, omega.Base.Dim()-1))
+		k := len(set)
+		row := VariantRow{N: n, K: k}
+		if omega.Base.N() <= exactNodes && k <= 8 {
+			_, row.OmegaC = omega.MinPortedBoundary(k)
+			row.OmegaExact = true
+		} else {
+			row.OmegaC = omega.PortedBoundary(set)
+		}
+		row.SnirHolds = variants.SnirInequalityHolds(row.OmegaC, k)
+
+		hkSet := expansion.BnNodeWitness(fft.Base, minInt(d, fft.Base.Dim()-1))
+		holds, sep := fft.VerifyHongKung(hkSet)
+		row.HKSeparator = len(sep)
+		row.HKHolds = holds
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderVariantsTable renders E12 rows.
+func RenderVariantsTable(rows []VariantRow) string {
+	t := tablefmt.New("§1.6 related bounds: Snir's Ω_n and Hong–Kung's FFT_n",
+		"n", "k", "Ω_n boundary C", "exact", "C·logC ≥ 4k", "|D| (HK)", "k ≤ 2|D|log|D|")
+	for _, r := range rows {
+		t.AddRow(r.N, r.K, r.OmegaC, r.OmegaExact, r.SnirHolds, r.HKSeparator, r.HKHolds)
+	}
+	return t.String()
+}
+
+// BandwidthReport reproduces the §1.2 Kruskal–Snir discussion (experiment
+// E13): the directed bisection width of Bn is n/2 — the "similar in spirit
+// to Lemma 3.1" bound.
+type BandwidthReport struct {
+	N           int
+	Exact       int // Unknown when beyond the budget
+	Constructed int // the column-prefix cut: always n/2
+	Theory      int // n/2
+}
+
+// BandwidthExperiment measures the directed bisection width.
+func BandwidthExperiment(n int, exactNodes int) BandwidthReport {
+	b := topology.NewButterfly(n)
+	rep := BandwidthReport{N: n, Exact: Unknown, Theory: n / 2}
+	rep.Constructed = bandwidth.DirectedCapacity(b, bandwidth.ColumnPrefixCut(b))
+	if b.N() <= exactNodes {
+		_, rep.Exact = bandwidth.MinDirectedBisection(b)
+	}
+	return rep
+}
+
+// RenderBandwidthTable renders E13 reports.
+func RenderBandwidthTable(reports []BandwidthReport) string {
+	t := tablefmt.New("Directed (Kruskal–Snir) bisection of Bn: bandwidth/4 ≤ width = n/2 (§1.2)",
+		"n", "exact", "column-prefix cut", "theory n/2")
+	for _, r := range reports {
+		t.AddRow(r.N, fmtOrDash(r.Exact), r.Constructed, r.Theory)
+	}
+	return t.String()
+}
+
+// TransmutationExperiment runs the executable Lemma 3.2 pipeline
+// (experiment E14) on a minimum bisection of Wn: the exact optimum when the
+// network is small enough, the (provably optimal) column cut otherwise.
+func TransmutationExperiment(n int, exactNodes int) (transmute.Result, error) {
+	w := topology.NewWrappedButterfly(n)
+	var side []bool
+	if w.N() <= exactNodes {
+		bis, _ := exact.MinBisectionWithBound(w.Graph, n)
+		side = make([]bool, w.N())
+		for v := range side {
+			side[v] = bis.InS(v)
+		}
+	} else {
+		side = make([]bool, w.N())
+		for v := 0; v < w.N(); v++ {
+			side[v] = w.Column(v) < w.Inputs()/2
+		}
+	}
+	return transmute.Run(w, side)
+}
+
+// DisseminationExperiment runs the §1.3 growth experiment (E15): rumor
+// spreading from a single node on Wn, with per-round growth verified
+// against the credit-certified node expansion floor.
+type DisseminationReport struct {
+	N      int
+	Rounds int
+	Sizes  []int
+	// Diameter bounds Rounds from above for a single-seed run.
+	Diameter int
+}
+
+// Dissemination runs E15 on Wn.
+func Dissemination(n int) (DisseminationReport, error) {
+	w := topology.NewWrappedButterfly(n)
+	tr, err := spread.Run(w.Graph, []int{0})
+	if err != nil {
+		return DisseminationReport{}, err
+	}
+	return DisseminationReport{N: n, Rounds: tr.Rounds, Sizes: tr.Sizes, Diameter: w.Diameter()}, nil
+}
+
+// RenderDisseminationTable renders E15 reports.
+func RenderDisseminationTable(reports []DisseminationReport) string {
+	t := tablefmt.New("Dissemination on Wn (§1.3): rounds vs diameter, informed sizes per round",
+		"n", "rounds", "diameter", "sizes")
+	for _, r := range reports {
+		t.AddRow(r.N, r.Rounds, r.Diameter, fmt.Sprintf("%v", r.Sizes))
+	}
+	return t.String()
+}
+
+// EmulationRow records one §1.5 emulation run (experiment E16).
+type EmulationRow struct {
+	Pair      string
+	Messages  int
+	HostSteps int
+	Budget    int // the O(l+c+d) budget
+}
+
+// EmulationExperiments runs the emulation engine over the §1.5 embeddings.
+func EmulationExperiments(n int) []EmulationRow {
+	b := topology.NewButterfly(n)
+	w := topology.NewWrappedButterfly(n)
+	c := topology.NewCCC(n)
+	hcEmb, _ := embed.ButterflyIntoHypercube(b)
+	cases := []struct {
+		name string
+		e    *embed.Embedding
+	}{
+		{"Beneš on Bn", embed.BenesIntoButterfly(b)},
+		{"Wn on CCCn", embed.WrappedIntoCCC(w, c)},
+		{"Bn on hypercube", hcEmb},
+	}
+	var rows []EmulationRow
+	for _, tc := range cases {
+		res := emulation.EmulateStep(tc.e)
+		rows = append(rows, EmulationRow{
+			Pair:      tc.name,
+			Messages:  res.Messages,
+			HostSteps: res.HostSteps,
+			Budget:    emulation.SlowdownBudget(tc.e),
+		})
+	}
+	return rows
+}
+
+// RenderEmulationTable renders E16 rows.
+func RenderEmulationTable(rows []EmulationRow) string {
+	t := tablefmt.New("Network emulation through embeddings (§1.5): one guest step on the host",
+		"pair", "messages", "host steps", "O(l+c+d) budget")
+	for _, r := range rows {
+		t.AddRow(r.Pair, r.Messages, r.HostSteps, r.Budget)
+	}
+	return t.String()
+}
+
+// LayoutRow records one §1.1 layout-area measurement (experiment E17).
+type LayoutRow struct {
+	N           int
+	PackedArea  int
+	NaiveArea   int
+	PackedRatio float64 // area / n²; §1.1's tight value is 1±o(1), this
+	// simple router achieves 2+o(1)
+	BWSquared  int // Thompson floor from the constructed bisection width
+	Consistent bool
+}
+
+// LayoutExperiment lays Bn out on the Thompson grid with both strategies
+// and checks the §1.2 Thompson relation against the constructed bisection.
+func LayoutExperiment(n int) LayoutRow {
+	b := topology.NewButterfly(n)
+	packed := layout.New(b, layout.Packed)
+	naive := layout.New(b, layout.Naive)
+	if err := packed.Validate(); err != nil {
+		panic(err)
+	}
+	bw := construct.BestPlan(n).Capacity
+	return LayoutRow{
+		N:           n,
+		PackedArea:  packed.Area(),
+		NaiveArea:   naive.Area(),
+		PackedRatio: packed.AreaRatio(),
+		BWSquared:   bw * bw,
+		Consistent:  packed.ThompsonConsistent(bw),
+	}
+}
+
+// RenderLayoutTable renders E17 rows.
+func RenderLayoutTable(rows []LayoutRow) string {
+	t := tablefmt.New("VLSI layout of Bn (§1.1/§1.2): measured area vs Θ(n²) and Thompson's A ≥ BW²",
+		"n", "packed area", "naive area", "area/n²", "BW²", "A ≥ BW²")
+	for _, r := range rows {
+		t.AddRow(r.N, r.PackedArea, r.NaiveArea, r.PackedRatio, r.BWSquared, r.Consistent)
+	}
+	return t.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariantsTable(t *testing.T) {
+	rows := VariantsTable(8, []int{1, 2}, 32) // base B4 exact
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.SnirHolds {
+			t.Errorf("k=%d: Snir inequality failed", r.K)
+		}
+		if !r.HKHolds {
+			t.Errorf("k=%d: Hong–Kung bound failed", r.K)
+		}
+	}
+	if !rows[0].OmegaExact {
+		t.Errorf("small base should be exact")
+	}
+	out := RenderVariantsTable(rows)
+	if !strings.Contains(out, "Snir") {
+		t.Errorf("table missing title:\n%s", out)
+	}
+}
+
+func TestVariantsTableLargeIsWitnessOnly(t *testing.T) {
+	rows := VariantsTable(64, []int{2}, 16)
+	if rows[0].OmegaExact {
+		t.Errorf("large base should not be exact")
+	}
+	if !rows[0].SnirHolds || !rows[0].HKHolds {
+		t.Errorf("bounds should hold on witness sets")
+	}
+}
+
+func TestBandwidthExperiment(t *testing.T) {
+	r := BandwidthExperiment(4, 32)
+	if r.Exact != 2 || r.Constructed != 2 || r.Theory != 2 {
+		t.Errorf("B4 directed width: %+v, want 2 everywhere", r)
+	}
+	big := BandwidthExperiment(64, 16)
+	if big.Exact != Unknown {
+		t.Errorf("large exact should be skipped")
+	}
+	if big.Constructed != 32 {
+		t.Errorf("column-prefix cut %d, want 32", big.Constructed)
+	}
+	out := RenderBandwidthTable([]BandwidthReport{r, big})
+	if !strings.Contains(out, "n/2") {
+		t.Errorf("table missing theory column:\n%s", out)
+	}
+}
+
+func TestTransmutationExperiment(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		res, err := TransmutationExperiment(n, 32)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.BnCapacity != res.WnCapacity {
+			t.Errorf("n=%d: transmutation changed capacity", n)
+		}
+		if !res.InputBisected {
+			t.Errorf("n=%d: inputs not bisected", n)
+		}
+		if res.FinalCapacity < n {
+			t.Errorf("n=%d: final capacity %d below n", n, res.FinalCapacity)
+		}
+	}
+}
+
+func TestDissemination(t *testing.T) {
+	r, err := Dissemination(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds > r.Diameter {
+		t.Errorf("rounds %d exceed diameter %d", r.Rounds, r.Diameter)
+	}
+	if r.Sizes[len(r.Sizes)-1] != 64 {
+		t.Errorf("final informed size %d, want 64", r.Sizes[len(r.Sizes)-1])
+	}
+	out := RenderDisseminationTable([]DisseminationReport{r})
+	if !strings.Contains(out, "rounds") {
+		t.Errorf("table missing header:\n%s", out)
+	}
+}
+
+func TestEmulationExperiments(t *testing.T) {
+	rows := EmulationExperiments(16)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HostSteps > r.Budget {
+			t.Errorf("%s: steps %d exceed budget %d", r.Pair, r.HostSteps, r.Budget)
+		}
+		if r.Messages == 0 {
+			t.Errorf("%s: no messages", r.Pair)
+		}
+	}
+	out := RenderEmulationTable(rows)
+	if !strings.Contains(out, "Beneš") {
+		t.Errorf("table missing rows:\n%s", out)
+	}
+}
+
+func TestLayoutExperiment(t *testing.T) {
+	r := LayoutExperiment(64)
+	if !r.Consistent {
+		t.Errorf("Thompson violated: %+v", r)
+	}
+	if r.PackedArea >= r.NaiveArea {
+		t.Errorf("packed %d not below naive %d", r.PackedArea, r.NaiveArea)
+	}
+	if r.PackedRatio < 1.0 || r.PackedRatio > 2.6 {
+		t.Errorf("packed ratio %v out of the Θ(n²) window", r.PackedRatio)
+	}
+	out := RenderLayoutTable([]LayoutRow{r})
+	if !strings.Contains(out, "Thompson") {
+		t.Errorf("table missing title:\n%s", out)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"repro/internal/mos"
+	"repro/internal/tablefmt"
+)
+
+// MOSConvergence computes the Lemma 2.19 series: BW(MOS_{j,j},M2)/j²
+// descending toward √2−1 (experiment E3).
+func MOSConvergence(js []int) []mos.Result {
+	out := make([]mos.Result, 0, len(js))
+	for _, j := range js {
+		out = append(out, mos.M2BisectionWidth(j))
+	}
+	return out
+}
+
+// RenderMOSTable renders the convergence series with the optimal class
+// fractions, which Lemma 2.18 sends to (√½, √½).
+func RenderMOSTable(results []mos.Result) string {
+	t := tablefmt.New("BW(MOS_{j,j}, M2)/j² → √2−1 (Lemmas 2.17–2.19)",
+		"j", "BW(MOS,M2)", "ratio", "x=a/j", "y=b/j", "limit √2−1")
+	for _, r := range results {
+		t.AddRow(r.J, r.Capacity, r.Ratio,
+			float64(r.A)/float64(r.J), float64(r.B)/float64(r.J), mos.Limit)
+	}
+	return t.String()
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/construct"
+	"repro/internal/route"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// RoutingReport is one run of the §1.2 experiment (E8): random-destination
+// routing on Bn measured against the bisection-width bound
+// time ≥ crossings / C(S,S̄).
+type RoutingReport struct {
+	N            int
+	Packets      int
+	Steps        int
+	CutCapacity  int
+	CutCrossings int
+	// BisectionBound is the certified floor ⌈crossings/capacity⌉ on Steps.
+	BisectionBound int
+	MaxQueue       int
+}
+
+// RandomRoutingExperiment runs the E8 simulation on Bn against the best
+// constructed bisection.
+func RandomRoutingExperiment(n int, seed int64) RoutingReport {
+	b := topology.NewButterfly(n)
+	plan := construct.BestPlan(n)
+	ref := plan.Build(b)
+	res := route.SimulateRandomDestinations(b, ref, seed)
+	return RoutingReport{
+		N:              n,
+		Packets:        res.Packets,
+		Steps:          res.Steps,
+		CutCapacity:    ref.Capacity(),
+		CutCrossings:   res.CutCrossings,
+		BisectionBound: res.CongestionBound,
+		MaxQueue:       res.MaxQueue,
+	}
+}
+
+// PermutationRoutingExperiment routes a random permutation input→output on
+// Bn along monotone paths.
+func PermutationRoutingExperiment(n int, seed int64) RoutingReport {
+	b := topology.NewButterfly(n)
+	plan := construct.BestPlan(n)
+	ref := plan.Build(b)
+	rng := rand.New(rand.NewSource(seed))
+	res, err := route.SimulatePermutation(b, ref, rng.Perm(n))
+	if err != nil {
+		panic(err) // rng.Perm always yields a valid permutation
+	}
+	return RoutingReport{
+		N:              n,
+		Packets:        res.Packets,
+		Steps:          res.Steps,
+		CutCapacity:    ref.Capacity(),
+		CutCrossings:   res.CutCrossings,
+		BisectionBound: res.CongestionBound,
+		MaxQueue:       res.MaxQueue,
+	}
+}
+
+// RenderRoutingTable renders E8 reports.
+func RenderRoutingTable(title string, reports []RoutingReport) string {
+	t := tablefmt.New(title,
+		"n", "packets", "steps", "cut capacity", "crossings", "bound steps≥", "max queue")
+	for _, r := range reports {
+		t.AddRow(r.N, r.Packets, r.Steps, r.CutCapacity, r.CutCrossings, r.BisectionBound, r.MaxQueue)
+	}
+	return t.String()
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

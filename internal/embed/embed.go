@@ -1,0 +1,191 @@
+// Package embed implements the embedding machinery of §1.4 and the concrete
+// embeddings the paper's proofs rely on: K_{n,n} and 2K_N into Bn, K_N into
+// Wn and Bn, B_{n·2^j} into Bn (Lemma 2.10), Bn into the mesh of stars
+// (Lemma 2.11), the Beneš network into Bn (Lemma 2.5), Wn into CCCn
+// (Lemma 3.3), and Bn into the hypercube (§1.5).
+//
+// An embedding maps guest nodes to host nodes and guest edges to host
+// paths; its load, congestion and dilation (§1.4) turn cuts of the host
+// into cuts of the guest and so yield the lower bounds on bisection width
+// and edge expansion used throughout the paper.
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Embedding is an embedding of Guest into Host: NodeMap sends guest nodes to
+// host nodes, and Paths[e] is the host path realizing guest edge e, given as
+// a node sequence starting at NodeMap of one endpoint and ending at the
+// other. A single-node path (length 0) is allowed when both endpoints map to
+// the same host node, as happens in Lemma 2.10 when butterfly levels
+// collapse.
+type Embedding struct {
+	Guest   *graph.Graph
+	Host    *graph.Graph
+	NodeMap []int
+	Paths   [][]int
+}
+
+// Validate checks structural soundness: every guest node maps to a host
+// node, and every guest edge's path connects the images of its endpoints
+// through host edges. It returns the first problem found.
+func (e *Embedding) Validate() error {
+	if len(e.NodeMap) != e.Guest.N() {
+		return fmt.Errorf("embed: node map has %d entries for %d guest nodes", len(e.NodeMap), e.Guest.N())
+	}
+	for v, h := range e.NodeMap {
+		if h < 0 || h >= e.Host.N() {
+			return fmt.Errorf("embed: guest node %d maps to invalid host node %d", v, h)
+		}
+	}
+	if len(e.Paths) != e.Guest.M() {
+		return fmt.Errorf("embed: %d paths for %d guest edges", len(e.Paths), e.Guest.M())
+	}
+	for ei, p := range e.Paths {
+		ge := e.Guest.Edge(ei)
+		if len(p) == 0 {
+			return fmt.Errorf("embed: empty path for guest edge %d", ei)
+		}
+		a, b := e.NodeMap[ge.U], e.NodeMap[ge.V]
+		first, last := p[0], p[len(p)-1]
+		if !(first == a && last == b) && !(first == b && last == a) {
+			return fmt.Errorf("embed: path of guest edge %d connects %d–%d, want %d–%d",
+				ei, first, last, a, b)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !e.Host.HasEdge(p[i], p[i+1]) {
+				return fmt.Errorf("embed: path of guest edge %d uses non-edge {%d,%d}",
+					ei, p[i], p[i+1])
+			}
+		}
+	}
+	return nil
+}
+
+// Load returns the maximum number of guest nodes mapped to one host node.
+func (e *Embedding) Load() int {
+	count := make([]int, e.Host.N())
+	max := 0
+	for _, h := range e.NodeMap {
+		count[h]++
+		if count[h] > max {
+			max = count[h]
+		}
+	}
+	return max
+}
+
+// Dilation returns the length (in edges) of the longest path.
+func (e *Embedding) Dilation() int {
+	max := 0
+	for _, p := range e.Paths {
+		if len(p)-1 > max {
+			max = len(p) - 1
+		}
+	}
+	return max
+}
+
+// PairCongestion returns, for every unordered host node pair joined by an
+// edge, the number of guest paths whose hops cross it. All host networks in
+// this repository are simple graphs, so a pair identifies an edge.
+func (e *Embedding) PairCongestion() map[graph.Edge]int {
+	cong := make(map[graph.Edge]int)
+	for _, p := range e.Paths {
+		for i := 0; i+1 < len(p); i++ {
+			u, v := int32(p[i]), int32(p[i+1])
+			if u > v {
+				u, v = v, u
+			}
+			cong[graph.Edge{U: u, V: v}]++
+		}
+	}
+	return cong
+}
+
+// Congestion returns the maximum number of paths crossing any host edge.
+func (e *Embedding) Congestion() int {
+	max := 0
+	for _, c := range e.PairCongestion() {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// UniformCongestion reports whether every host edge carries exactly the same
+// number of paths, and that number. Several of the paper's embeddings
+// (Lemmas 2.10 and 2.11) promise exact uniform congestion.
+func (e *Embedding) UniformCongestion() (int, bool) {
+	cong := e.PairCongestion()
+	// Every host edge must appear, with equal count.
+	want := -1
+	for _, he := range e.Host.Edges() {
+		c := cong[he]
+		if want < 0 {
+			want = c
+		} else if c != want {
+			return 0, false
+		}
+	}
+	return want, true
+}
+
+// InducedGuestCut returns the number of guest edges whose paths cross the
+// host cut given by side (true = in S). Removing the host cut edges
+// disconnects exactly these guest edges — the counting at the heart of the
+// §1.4 lower-bound technique.
+func (e *Embedding) InducedGuestCut(side []bool) int {
+	count := 0
+	for _, p := range e.Paths {
+		for i := 0; i+1 < len(p); i++ {
+			if side[p[i]] != side[p[i+1]] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// BisectionLowerBound computes the §1.4 bound: if the guest K has bisection
+// width guestBW and the embedding has load 1 onto a host with the same node
+// count, then BW(host) ≥ ⌈guestBW / congestion⌉.
+func (e *Embedding) BisectionLowerBound(guestBW int) int {
+	if e.Load() != 1 || e.Guest.N() != e.Host.N() {
+		panic("embed: bisection lower bound needs a load-1 embedding onto an equal-size host")
+	}
+	c := e.Congestion()
+	if c == 0 {
+		return 0
+	}
+	return ceilDiv(guestBW, c)
+}
+
+// EdgeExpansionLowerBound computes the §1.4 expansion bound for a load-1
+// embedding of the complete graph K_N: EE(host,k) ≥ ⌈k(N−k)/congestion⌉.
+func (e *Embedding) EdgeExpansionLowerBound(k int) int {
+	if e.Load() != 1 || e.Guest.N() != e.Host.N() {
+		panic("embed: expansion lower bound needs a load-1 embedding onto an equal-size host")
+	}
+	c := e.Congestion()
+	if c == 0 {
+		return 0
+	}
+	n := e.Guest.N()
+	return ceilDiv(k*(n-k), c)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// CompleteBisectionWidth returns BW(K_N) = ⌊N/2⌋·⌈N/2⌉ and
+// DoubledCompleteBisectionWidth twice that, the guest widths used by the
+// §1.4 arguments (the paper quotes N²/4 and N²/2 for even N).
+func CompleteBisectionWidth(n int) int { return (n / 2) * ((n + 1) / 2) }
+
+// DoubledCompleteBisectionWidth returns BW(2K_N).
+func DoubledCompleteBisectionWidth(n int) int { return 2 * CompleteBisectionWidth(n) }

@@ -1,0 +1,109 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// TestPropertyInducedCutBound: for any host cut, the induced guest cut is
+// at most congestion × host capacity — the inequality every §1.4 lower
+// bound rests on — across all the embeddings in this package.
+func TestPropertyInducedCutBound(t *testing.T) {
+	b := topology.NewButterfly(8)
+	w := topology.NewWrappedButterfly(8)
+	c := topology.NewCCC(8)
+	hcEmb, _ := ButterflyIntoHypercube(b)
+	embeddings := map[string]*Embedding{
+		"Knn":   KnnIntoButterfly(b),
+		"KN-Wn": KNIntoWrapped(w),
+		"2KN":   DoubledCompleteIntoButterfly(topology.NewButterfly(4)),
+		"Benes": BenesIntoButterfly(b),
+		"CCC":   WrappedIntoCCC(w, c),
+		"Hyper": hcEmb,
+		"BkBn":  BkIntoBn(b, 1, 1),
+		"MOS":   ButterflyIntoMOS(b, 2, 2),
+	}
+	rng := rand.New(rand.NewSource(10))
+	for name, e := range embeddings {
+		cong := e.Congestion()
+		for trial := 0; trial < 10; trial++ {
+			side := make([]bool, e.Host.N())
+			for i := range side {
+				side[i] = rng.Intn(2) == 0
+			}
+			hostCap := 0
+			for _, he := range e.Host.Edges() {
+				if side[he.U] != side[he.V] {
+					hostCap++
+				}
+			}
+			if induced := e.InducedGuestCut(side); induced > cong*hostCap {
+				t.Fatalf("%s: induced %d > congestion %d × capacity %d",
+					name, induced, cong, hostCap)
+			}
+		}
+	}
+}
+
+// TestPropertyBkIntoBnParams: the Lemma 2.10 properties hold for random
+// valid (n, i, j).
+func TestPropertyBkIntoBnParams(t *testing.T) {
+	f := func(dRaw, iRaw, jRaw uint8) bool {
+		d := 2 + int(dRaw)%3 // host dim 2..4
+		j := int(jRaw) % 3   // collapse 0..2
+		host := topology.NewButterfly(1 << d)
+		i := int(iRaw) % (d + 1)
+		e := BkIntoBn(host, i, j)
+		if err := e.Validate(); err != nil {
+			return false
+		}
+		cong, uniform := e.UniformCongestion()
+		return uniform && cong == 1<<j && e.Dilation() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPathsStayInHost: every path node of every embedding is a
+// valid host node (a structural guard against index arithmetic slips).
+func TestPropertyPathsStayInHost(t *testing.T) {
+	b := topology.NewButterfly(16)
+	for _, e := range []*Embedding{
+		KnnIntoButterfly(b),
+		BenesIntoButterfly(b),
+		BkIntoBn(b, 2, 1),
+		ButterflyIntoMOS(b, 4, 4),
+	} {
+		for _, p := range e.Paths {
+			for _, v := range p {
+				if v < 0 || v >= e.Host.N() {
+					t.Fatalf("path node %d outside host", v)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCongestionSymmetricUnderXor: the K_{n,n} embedding's
+// congestion is invariant under relabeling the butterfly by column-xor
+// automorphisms, reflecting Lemma 2.2's symmetry.
+func TestPropertyCongestionSymmetricUnderXor(t *testing.T) {
+	b := topology.NewButterfly(8)
+	e := KnnIntoButterfly(b)
+	cong := e.PairCongestion()
+	perm := b.ColumnXorAutomorphism(5)
+	for pair, c := range cong {
+		u, v := perm[pair.U], perm[pair.V]
+		if u > v {
+			u, v = v, u
+		}
+		if cong[graph.Edge{U: int32(u), V: int32(v)}] != c {
+			t.Fatalf("congestion not symmetric under xor automorphism")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package embed
+
+import (
+	"repro/internal/bitutil"
+	"repro/internal/topology"
+)
+
+// BenesIntoButterfly builds the embedding behind the proof of Lemma 2.5: the
+// ((log n)−1)-dimensional Beneš network embeds into Bn with load 1,
+// congestion 1, and dilation 3, mapping the Beneš inputs onto the
+// even-suffix half of L0 and its outputs onto the odd-suffix half — the
+// partition (I,O) of L0 that makes Bn-with-ports rearrangeable.
+//
+// Construction: the Beneš is folded at its middle level. A forward-half node
+// (c,l), l ≤ d (d = log n − 1), maps to Bn node ⟨c·2, l⟩; a backward-half
+// node (c,l), l > d, maps to ⟨c·2+1, 2d−l⟩. Forward and backward edges map
+// to single host edges. Each seam edge (between Beneš levels d and d+1)
+// takes a length-3 path through the host's level-(d+1) "turnaround" row,
+// with the straight and cross seam edges of a column routed through the two
+// disjoint sides of the level-d/(d+1) 4-cycle so no host edge is reused.
+func BenesIntoButterfly(host *topology.Butterfly) *Embedding {
+	if host.Wraparound() {
+		panic("embed: BenesIntoButterfly targets Bn")
+	}
+	n := host.Inputs()
+	if n < 4 {
+		panic("embed: Beneš embedding needs n ≥ 4")
+	}
+	d := host.Dim() - 1
+	guest := topology.NewBenes(n / 2)
+
+	fwdCol := func(c int) int { return c << 1 }   // direction bit 0
+	bwdCol := func(c int) int { return c<<1 | 1 } // direction bit 1
+	nodeMap := make([]int, guest.N())
+	for v := 0; v < guest.N(); v++ {
+		c, l := guest.Column(v), guest.Level(v)
+		if l <= d {
+			nodeMap[v] = host.Node(fwdCol(c), l)
+		} else {
+			nodeMap[v] = host.Node(bwdCol(c), 2*d-l)
+		}
+	}
+
+	paths := make([][]int, guest.M())
+	for ei, e := range guest.Edges() {
+		u, v := int(e.U), int(e.V)
+		lu, lv := guest.Level(u), guest.Level(v)
+		if lu > lv {
+			u, v = v, u
+			lu, lv = lv, lu
+		}
+		if lu != d || lv != d+1 {
+			// Forward or backward edge: single host edge.
+			paths[ei] = []int{nodeMap[u], nodeMap[v]}
+			continue
+		}
+		// Seam edge. u = (c,d), v = (c',d+1) with c' = c or c ⊕ e_d.
+		c := guest.Column(u)
+		cp := guest.Column(v)
+		if cp == c {
+			// Straight seam: cross down, straight up, straight up.
+			paths[ei] = []int{
+				host.Node(fwdCol(c), d),
+				host.Node(bwdCol(c), d+1),
+				host.Node(bwdCol(c), d),
+				host.Node(bwdCol(c), d-1),
+			}
+		} else {
+			// Cross seam: straight down, cross up, cross up.
+			paths[ei] = []int{
+				host.Node(fwdCol(c), d),
+				host.Node(fwdCol(c), d+1),
+				host.Node(bwdCol(c), d),
+				host.Node(bwdCol(cp), d-1),
+			}
+		}
+	}
+	return &Embedding{Guest: guest.Graph, Host: host.Graph, NodeMap: nodeMap, Paths: paths}
+}
+
+// BenesIOPartition returns the Lemma 2.5 partition (I,O) of L0 of Bn induced
+// by BenesIntoButterfly: I is the image of the Beneš inputs (even columns)
+// and O the image of its outputs (odd columns), each of size n/2.
+func BenesIOPartition(host *topology.Butterfly) (inputs, outputs []int) {
+	n := host.Inputs()
+	for c := 0; c < n/2; c++ {
+		inputs = append(inputs, host.Node(c<<1, 0))
+		outputs = append(outputs, host.Node(c<<1|1, 0))
+	}
+	return inputs, outputs
+}
+
+// WrappedIntoCCC builds the Lemma 3.3 embedding of Wn into CCCn with
+// congestion 2: level i of Wn maps to cycle position i (position log n for
+// level 0), straight edges map to cycle edges, and each cross edge takes a
+// cycle edge followed by the cube edge of the flipped bit position.
+func WrappedIntoCCC(w *topology.Butterfly, c *topology.CCC) *Embedding {
+	if !w.Wraparound() {
+		panic("embed: WrappedIntoCCC embeds Wn")
+	}
+	if c.Cycles() != w.Inputs() {
+		panic("embed: CCC size does not match Wn")
+	}
+	d := w.Dim()
+	pos := func(level int) int {
+		if level == 0 {
+			return d
+		}
+		return level
+	}
+	nodeMap := make([]int, w.N())
+	for v := 0; v < w.N(); v++ {
+		nodeMap[v] = c.Node(w.Column(v), pos(w.Level(v)))
+	}
+	paths := make([][]int, w.M())
+	for ei, e := range w.Edges() {
+		u, v := int(e.U), int(e.V)
+		// Orient u at level i, v at level (i+1) mod d.
+		if (w.Level(u)+1)%d != w.Level(v) {
+			u, v = v, u
+		}
+		i := w.Level(u)
+		q := i + 1 // cube/cycle position of the far endpoint (q = d at wrap)
+		if w.Column(u) == w.Column(v) {
+			paths[ei] = []int{nodeMap[u], nodeMap[v]}
+		} else {
+			paths[ei] = []int{
+				nodeMap[u],
+				c.Node(w.Column(u), q),
+				c.Node(w.Column(v), q),
+			}
+		}
+	}
+	return &Embedding{Guest: w.Graph, Host: c.Graph, NodeMap: nodeMap, Paths: paths}
+}
+
+// ButterflyIntoHypercube embeds Bn into the hypercube of dimension
+// log n + ⌈log(log n + 1)⌉ with load 1 and dilation 2: node ⟨w,i⟩ maps to
+// the concatenation of w with the Gray code of i, so straight edges become
+// hypercube edges and cross edges become length-2 paths (§1.5's
+// constant-load/congestion/dilation relationship).
+func ButterflyIntoHypercube(b *topology.Butterfly) (*Embedding, *topology.Hypercube) {
+	if b.Wraparound() {
+		panic("embed: ButterflyIntoHypercube targets Bn")
+	}
+	levels := b.Levels()
+	lbits := bitutil.CeilLog2(levels)
+	if lbits == 0 {
+		lbits = 1
+	}
+	dim := b.Dim() + lbits
+	h := topology.NewHypercube(dim)
+
+	gray := func(i int) int { return i ^ (i >> 1) }
+	nodeMap := make([]int, b.N())
+	for v := 0; v < b.N(); v++ {
+		nodeMap[v] = b.Column(v)<<lbits | gray(b.Level(v))
+	}
+	paths := make([][]int, b.M())
+	for ei, e := range b.Edges() {
+		u, v := int(e.U), int(e.V)
+		if b.Column(u) == b.Column(v) {
+			paths[ei] = []int{nodeMap[u], nodeMap[v]}
+		} else {
+			// Flip the column bit first, then the Gray bit.
+			mid := b.Column(v)<<lbits | gray(b.Level(u))
+			paths[ei] = []int{nodeMap[u], mid, nodeMap[v]}
+		}
+	}
+	return &Embedding{Guest: b.Graph, Host: h.Graph, NodeMap: nodeMap, Paths: paths}, h
+}

@@ -1,0 +1,88 @@
+package emulation
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/topology"
+)
+
+func TestEmulateIdentityLikeEmbedding(t *testing.T) {
+	// The Beneš→Bn embedding has load 1, congestion 1, dilation 3: one
+	// guest step emulates in at most a handful of host steps.
+	host := topology.NewButterfly(16)
+	e := embed.BenesIntoButterfly(host)
+	res := EmulateStep(e)
+	if res.Messages != 2*e.Guest.M() {
+		t.Errorf("messages %d, want %d", res.Messages, 2*e.Guest.M())
+	}
+	if res.HostSteps < res.DilationFloor {
+		t.Errorf("steps %d below dilation floor %d", res.HostSteps, res.DilationFloor)
+	}
+	if res.HostSteps < res.CongestionFloor {
+		t.Errorf("steps %d below congestion floor %d", res.HostSteps, res.CongestionFloor)
+	}
+	if budget := SlowdownBudget(e); res.HostSteps > budget {
+		t.Errorf("steps %d exceed the O(l+c+d) budget %d", res.HostSteps, budget)
+	}
+}
+
+func TestEmulateWnOnCCC(t *testing.T) {
+	// Lemma 3.3's embedding: congestion 2, dilation 2 — the CCC emulates
+	// the wrapped butterfly with constant slowdown (§1.5's theme).
+	w := topology.NewWrappedButterfly(16)
+	c := topology.NewCCC(16)
+	e := embed.WrappedIntoCCC(w, c)
+	res := EmulateStep(e)
+	if res.HostSteps > SlowdownBudget(e) {
+		t.Errorf("steps %d exceed budget %d", res.HostSteps, SlowdownBudget(e))
+	}
+	// Constant slowdown means single digits here, independent of n.
+	if res.HostSteps > 12 {
+		t.Errorf("slowdown %d not constant-like", res.HostSteps)
+	}
+}
+
+func TestEmulateButterflyOnHypercube(t *testing.T) {
+	b := topology.NewButterfly(16)
+	e, _ := embed.ButterflyIntoHypercube(b)
+	res := EmulateStep(e)
+	if res.HostSteps > SlowdownBudget(e) {
+		t.Errorf("steps %d exceed budget %d", res.HostSteps, SlowdownBudget(e))
+	}
+}
+
+func TestEmulateCollapsedEdges(t *testing.T) {
+	// Lemma 2.10 embeddings collapse levels: zero-length paths deliver
+	// instantly but still count as messages.
+	host := topology.NewButterfly(8)
+	e := embed.BkIntoBn(host, 1, 1)
+	res := EmulateStep(e)
+	if res.Messages != 2*e.Guest.M() {
+		t.Errorf("messages %d, want %d", res.Messages, 2*e.Guest.M())
+	}
+	if res.DilationFloor > 1 {
+		t.Errorf("dilation floor %d, want ≤ 1", res.DilationFloor)
+	}
+	if res.HostSteps > SlowdownBudget(e) {
+		t.Errorf("steps %d exceed budget %d", res.HostSteps, SlowdownBudget(e))
+	}
+}
+
+func TestSlowdownScalesWithCongestion(t *testing.T) {
+	// The K_{n,n}→Bn embedding has congestion n/2: emulating a full K_{n,n}
+	// step must take at least n/2 host steps (the §1.3 inefficiency
+	// principle in action).
+	b := topology.NewButterfly(8)
+	e := embed.KnnIntoButterfly(b)
+	res := EmulateStep(e)
+	if res.CongestionFloor < 4 {
+		t.Errorf("congestion floor %d, expected ≥ n/2 = 4", res.CongestionFloor)
+	}
+	if res.HostSteps < 4 {
+		t.Errorf("steps %d below the congestion floor", res.HostSteps)
+	}
+	if res.HostSteps > SlowdownBudget(e) {
+		t.Errorf("steps %d exceed budget %d", res.HostSteps, SlowdownBudget(e))
+	}
+}

@@ -1,0 +1,93 @@
+package emulation
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/topology"
+)
+
+func TestSemanticFaithfulnessAcrossEmbeddings(t *testing.T) {
+	// Every embedding in the repository must deliver exactly the guest's
+	// communication pattern: the folded states after several steps agree
+	// with the native guest run.
+	b := topology.NewButterfly(8)
+	w := topology.NewWrappedButterfly(8)
+	c := topology.NewCCC(8)
+	hc, _ := embed.ButterflyIntoHypercube(b)
+	cases := map[string]*embed.Embedding{
+		"Benes→Bn":     embed.BenesIntoButterfly(b),
+		"Wn→CCC":       embed.WrappedIntoCCC(w, c),
+		"Bn→hypercube": hc,
+		"Bk→Bn":        embed.BkIntoBn(b, 1, 1),
+		"Bn→MOS":       embed.ButterflyIntoMOS(b, 2, 2),
+		"Knn→Bn":       embed.KnnIntoButterfly(b),
+	}
+	for name, e := range cases {
+		for _, steps := range []int{1, 3} {
+			if !SemanticallyFaithful(e, steps, 42) {
+				t.Errorf("%s: emulation diverged from the guest after %d steps", name, steps)
+			}
+		}
+	}
+}
+
+func TestSemanticCheckCatchesMiswiring(t *testing.T) {
+	// Swap the residences of two guest nodes without rerouting: the
+	// endpoint check must trip.
+	b := topology.NewButterfly(8)
+	e := embed.BenesIntoButterfly(b)
+	bad := *e
+	bad.NodeMap = append([]int{}, e.NodeMap...)
+	bad.NodeMap[0], bad.NodeMap[1] = bad.NodeMap[1], bad.NodeMap[0]
+	defer func() {
+		if recover() == nil {
+			t.Errorf("miswired embedding not caught")
+		}
+	}()
+	RunEmulated(&bad, make([]int64, bad.Guest.N()), 1)
+}
+
+func TestSemanticCheckCatchesBrokenPath(t *testing.T) {
+	b := topology.NewButterfly(8)
+	e := embed.KnnIntoButterfly(b)
+	bad := *e
+	bad.Paths = append([][]int{}, e.Paths...)
+	p := append([]int{}, e.Paths[0]...)
+	if len(p) < 4 {
+		t.Skip("path too short to corrupt meaningfully")
+	}
+	p[1], p[2] = p[2], p[1] // scramble interior hops
+	bad.Paths[0] = p
+	defer func() {
+		if recover() == nil {
+			t.Errorf("broken path not caught")
+		}
+	}()
+	RunEmulated(&bad, make([]int64, bad.Guest.N()), 1)
+}
+
+func TestRunGuestDeterministic(t *testing.T) {
+	g := topology.NewButterfly(4).Graph
+	init := make([]int64, g.N())
+	for i := range init {
+		init[i] = int64(i)
+	}
+	a := RunGuest(g, init, 4)
+	b := RunGuest(g, init, 4)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic guest run")
+		}
+	}
+	// States actually evolve.
+	same := true
+	for v := range a {
+		if a[v] != init[v] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("states did not change")
+	}
+}

@@ -1,0 +1,29 @@
+package emulation
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/topology"
+)
+
+func TestEmulateStepsAmortized(t *testing.T) {
+	host := topology.NewButterfly(8)
+	e := embed.BenesIntoButterfly(host)
+	per := EmulateStep(e).HostSteps
+	total := EmulateSteps(e, 5)
+	if total != 5*per {
+		t.Errorf("5 steps took %d, want %d", total, 5*per)
+	}
+}
+
+func TestEmulateStepsValidation(t *testing.T) {
+	host := topology.NewButterfly(8)
+	e := embed.BenesIntoButterfly(host)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("t=0 did not panic")
+		}
+	}()
+	EmulateSteps(e, 0)
+}

@@ -1,0 +1,318 @@
+// Package exact computes exact optima for the quantities the paper bounds:
+// minimum bisections (BW, §1.2), minimum cuts bisecting a node subset
+// (U-bisection width, §2.1), and minimum edge/node expansion over sets of a
+// given size (EE and NE, §1.3).
+//
+// All solvers are branch-and-bound searches with admissible lower bounds.
+// They are exponential in the worst case and intended for the small networks
+// on which the experiments pin exact values (a few dozen nodes); larger
+// networks are handled by package heuristic (upper bounds) and by the
+// paper's constructions and certified lower bounds.
+package exact
+
+import (
+	"repro/internal/cut"
+	"repro/internal/graph"
+)
+
+const (
+	unassigned = int8(-1)
+	sideS      = int8(0)
+	sideSbar   = int8(1)
+)
+
+// bbState is the shared machinery of the bisection branch-and-bound: nodes
+// are assigned to sides in a fixed order, and the admissible bound
+//
+//	currentCut + Σ_{v unassigned} min(assignedNbrs_S(v), assignedNbrs_S̄(v))
+//
+// never overestimates the final capacity, because each unassigned node must
+// eventually cut at least that many of its edges to already-assigned nodes,
+// and those edge sets are disjoint across unassigned nodes.
+type bbState struct {
+	g       *graph.Graph
+	order   []int32 // assignment order (BFS order keeps edges local)
+	pos     []int32 // position of node in order
+	assign  []int8
+	cntS    []int32 // per node: assigned neighbors in S
+	cntSbar []int32 // per node: assigned neighbors in S̄
+	curCut  int
+	minSum  int // Σ over unassigned of min(cntS, cntSbar)
+	sizeS   int
+	sizeT   int
+
+	best     int
+	bestSide []bool
+}
+
+func newBBState(g *graph.Graph) *bbState {
+	st := &bbState{
+		g:       g,
+		assign:  make([]int8, g.N()),
+		cntS:    make([]int32, g.N()),
+		cntSbar: make([]int32, g.N()),
+		pos:     make([]int32, g.N()),
+	}
+	for i := range st.assign {
+		st.assign[i] = unassigned
+	}
+	st.order = bfsOrder(g)
+	for i, v := range st.order {
+		st.pos[v] = int32(i)
+	}
+	return st
+}
+
+func bfsOrder(g *graph.Graph) []int32 {
+	n := g.N()
+	order := make([]int32, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []int32{int32(start)}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			for _, w := range g.Neighbors(int(v)) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// place assigns node v to side s and updates the incremental quantities.
+func (st *bbState) place(v int, s int8) {
+	// v stops contributing to minSum.
+	st.minSum -= int(minInt32(st.cntS[v], st.cntSbar[v]))
+	st.assign[v] = s
+	if s == sideS {
+		st.sizeS++
+		st.curCut += int(st.cntSbar[v])
+	} else {
+		st.sizeT++
+		st.curCut += int(st.cntS[v])
+	}
+	for _, u := range st.g.Neighbors(v) {
+		if st.assign[u] != unassigned {
+			continue
+		}
+		old := minInt32(st.cntS[u], st.cntSbar[u])
+		if s == sideS {
+			st.cntS[u]++
+		} else {
+			st.cntSbar[u]++
+		}
+		st.minSum += int(minInt32(st.cntS[u], st.cntSbar[u]) - old)
+	}
+}
+
+// unplace reverses place.
+func (st *bbState) unplace(v int, s int8) {
+	for _, u := range st.g.Neighbors(v) {
+		if st.assign[u] != unassigned {
+			continue
+		}
+		old := minInt32(st.cntS[u], st.cntSbar[u])
+		if s == sideS {
+			st.cntS[u]--
+		} else {
+			st.cntSbar[u]--
+		}
+		st.minSum += int(minInt32(st.cntS[u], st.cntSbar[u]) - old)
+	}
+	st.assign[v] = unassigned
+	if s == sideS {
+		st.sizeS--
+		st.curCut -= int(st.cntSbar[v])
+	} else {
+		st.sizeT--
+		st.curCut -= int(st.cntS[v])
+	}
+	st.minSum += int(minInt32(st.cntS[v], st.cntSbar[v]))
+}
+
+func (st *bbState) record() {
+	side := make([]bool, st.g.N())
+	for v, a := range st.assign {
+		side[v] = a == sideS
+	}
+	st.best = st.curCut
+	st.bestSide = side
+}
+
+// MinBisection returns a minimum bisection of g and its capacity BW(g). The
+// initial incumbent is the balanced prefix/suffix split in BFS order, which
+// is already a decent cut on layered networks.
+func MinBisection(g *graph.Graph) (*cut.Cut, int) {
+	return MinBisectionWithBound(g, initialBisectionBound(g))
+}
+
+// MinBisectionWithBound is MinBisection seeded with a known achievable upper
+// bound (the capacity of some bisection, e.g. from package heuristic). A
+// tighter seed prunes more. If bound is not achievable the function falls
+// back to an unseeded search, so the result is the true optimum either way.
+func MinBisectionWithBound(g *graph.Graph, bound int) (*cut.Cut, int) {
+	n := g.N()
+	if n == 0 {
+		return cut.FromSet(g, nil), 0
+	}
+	st := newBBState(g)
+	st.best = bound + 1
+	half := (n + 1) / 2
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if st.curCut+st.minSum >= st.best {
+			return
+		}
+		if idx == n {
+			st.record()
+			return
+		}
+		v := int(st.order[idx])
+		// Try the side with fewer cut edges first for faster incumbents.
+		first, second := sideS, sideSbar
+		if st.cntSbar[v] < st.cntS[v] {
+			first, second = sideSbar, sideS
+		}
+		for _, s := range []int8{first, second} {
+			if s == sideS && st.sizeS >= half {
+				continue
+			}
+			if s == sideSbar && st.sizeT >= half {
+				continue
+			}
+			// Symmetry: the first node is fixed in S.
+			if idx == 0 && s != sideS {
+				continue
+			}
+			st.place(v, s)
+			dfs(idx + 1)
+			st.unplace(v, s)
+		}
+	}
+	dfs(0)
+
+	if st.bestSide == nil {
+		// bound was below BW(g), so nothing was found: rerun with the
+		// always-achievable internal seed.
+		return MinBisection(g)
+	}
+	return cut.New(g, st.bestSide), st.best
+}
+
+// initialBisection returns the balanced BFS prefix cut used to seed the
+// search.
+func initialBisection(g *graph.Graph) *cut.Cut {
+	order := bfsOrder(g)
+	side := make([]bool, g.N())
+	for i := 0; i < g.N()/2; i++ {
+		side[order[i]] = true
+	}
+	return cut.New(g, side)
+}
+
+func initialBisectionBound(g *graph.Graph) int {
+	return initialBisection(g).Capacity()
+}
+
+// MinSubsetBisection returns a cut of minimum capacity among those that
+// bisect the node set u (the U-bisection width BW(g, U) of §2.1), together
+// with that capacity. Nodes outside u are unconstrained.
+func MinSubsetBisection(g *graph.Graph, u []int) (*cut.Cut, int) {
+	n := g.N()
+	inU := make([]bool, n)
+	for _, v := range u {
+		inU[v] = true
+	}
+	st := newBBState(g)
+
+	// Seed: alternate u between sides in BFS order, everything else in S̄.
+	seedSide := make([]bool, n)
+	uSeen := 0
+	for _, v := range st.order {
+		if inU[v] {
+			seedSide[v] = uSeen%2 == 0
+			uSeen++
+		}
+	}
+	seed := cut.New(g, seedSide)
+	st.best = seed.Capacity() + 1
+
+	uHalf := (len(u) + 1) / 2
+	uInS, uInSbar := 0, 0
+	firstU := -1
+	for _, v := range st.order {
+		if inU[int(v)] {
+			firstU = int(v)
+			break
+		}
+	}
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if st.curCut+st.minSum >= st.best {
+			return
+		}
+		if idx == n {
+			st.record()
+			return
+		}
+		v := int(st.order[idx])
+		first, second := sideS, sideSbar
+		if st.cntSbar[v] < st.cntS[v] {
+			first, second = sideSbar, sideS
+		}
+		for _, s := range []int8{first, second} {
+			if inU[v] {
+				if s == sideS && uInS >= uHalf {
+					continue
+				}
+				if s == sideSbar && uInSbar >= uHalf {
+					continue
+				}
+				// Symmetry: the first u node in order is fixed in S.
+				if v == firstU && s != sideS {
+					continue
+				}
+			}
+			if inU[v] {
+				if s == sideS {
+					uInS++
+				} else {
+					uInSbar++
+				}
+			}
+			st.place(v, s)
+			dfs(idx + 1)
+			st.unplace(v, s)
+			if inU[v] {
+				if s == sideS {
+					uInS--
+				} else {
+					uInSbar--
+				}
+			}
+		}
+	}
+	dfs(0)
+
+	if st.bestSide == nil {
+		return seed, seed.Capacity()
+	}
+	return cut.New(g, st.bestSide), st.best
+}

@@ -1,0 +1,87 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestContainingMatchesGlobalOnVertexTransitive(t *testing.T) {
+	// Wn, CCCn and the hypercube are vertex-transitive: forcing a root
+	// loses nothing.
+	for name, g := range map[string]*topology.Butterfly{
+		"W8": topology.NewWrappedButterfly(8),
+	} {
+		for k := 1; k <= 6; k++ {
+			_, global := MinEdgeExpansion(g.Graph, k)
+			_, rooted := MinEdgeExpansionContaining(g.Graph, k, 0)
+			if rooted != global {
+				t.Errorf("%s EE k=%d: rooted %d, global %d", name, k, rooted, global)
+			}
+			_, globalN := MinNodeExpansion(g.Graph, k)
+			_, rootedN := MinNodeExpansionContaining(g.Graph, k, 0)
+			if rootedN != globalN {
+				t.Errorf("%s NE k=%d: rooted %d, global %d", name, k, rootedN, globalN)
+			}
+		}
+	}
+
+	q := topology.NewHypercube(4)
+	for k := 2; k <= 5; k++ {
+		_, global := MinEdgeExpansion(q.Graph, k)
+		_, rooted := MinEdgeExpansionContaining(q.Graph, k, 3)
+		if rooted != global {
+			t.Errorf("Q4 EE k=%d: rooted %d, global %d", k, rooted, global)
+		}
+	}
+}
+
+func TestContainingIsUpperBoundOnBn(t *testing.T) {
+	// Bn is NOT vertex-transitive (inputs have degree 2, the interior 4):
+	// rooting at an interior node can only give ≥ the global optimum.
+	b := topology.NewButterfly(4)
+	interior := b.Node(0, 1)
+	for k := 1; k <= 4; k++ {
+		_, global := MinEdgeExpansion(b.Graph, k)
+		set, rooted := MinEdgeExpansionContaining(b.Graph, k, interior)
+		if rooted < global {
+			t.Errorf("k=%d: rooted %d below global %d — impossible", k, rooted, global)
+		}
+		if !contains(set, interior) {
+			t.Errorf("k=%d: root not in the returned set", k)
+		}
+	}
+}
+
+func TestContainingRootInSet(t *testing.T) {
+	w := topology.NewWrappedButterfly(8)
+	for _, root := range []int{0, 5, 17} {
+		set, _ := MinEdgeExpansionContaining(w.Graph, 4, root)
+		if !contains(set, root) {
+			t.Errorf("root %d missing from set %v", root, set)
+		}
+		setN, _ := MinNodeExpansionContaining(w.Graph, 4, root)
+		if !contains(setN, root) {
+			t.Errorf("root %d missing from NE set %v", root, setN)
+		}
+	}
+}
+
+func TestContainingValidation(t *testing.T) {
+	w := topology.NewWrappedButterfly(8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad root did not panic")
+		}
+	}()
+	MinEdgeExpansionContaining(w.Graph, 2, -1)
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

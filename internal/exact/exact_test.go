@@ -1,0 +1,240 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func cycleGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func TestMinBisectionKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path8", pathGraph(8), 1},
+		{"path9", pathGraph(9), 1},
+		{"cycle8", cycleGraph(8), 2},
+		{"cycle9", cycleGraph(9), 2},
+		{"K4", topology.NewComplete(4), 4},
+		{"K6", topology.NewComplete(6), 9},
+		{"star5", topology.NewCompleteBipartite(1, 4), 2},
+		{"B2=C4", topology.NewButterfly(2).Graph, 2},
+		{"Q3", topology.NewHypercube(3).Graph, 4},
+		{"Q4", topology.NewHypercube(4).Graph, 8},
+	}
+	for _, c := range cases {
+		bis, width := MinBisection(c.g)
+		if width != c.want {
+			t.Errorf("%s: BW = %d, want %d", c.name, width, c.want)
+		}
+		if !bis.IsBisection() {
+			t.Errorf("%s: returned cut is not a bisection", c.name)
+		}
+		if bis.Capacity() != width {
+			t.Errorf("%s: reported width %d but cut capacity %d", c.name, width, bis.Capacity())
+		}
+	}
+}
+
+func TestMinBisectionEmptyAndTiny(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	_, w := MinBisection(g)
+	if w != 0 {
+		t.Errorf("empty BW = %d", w)
+	}
+	one := graph.NewBuilder(1).Build()
+	bis, w := MinBisection(one)
+	if w != 0 || !bis.IsBisection() {
+		t.Errorf("singleton BW = %d", w)
+	}
+	two := pathGraph(2)
+	_, w = MinBisection(two)
+	if w != 1 {
+		t.Errorf("P2 BW = %d, want 1", w)
+	}
+}
+
+func TestMinBisectionDisconnected(t *testing.T) {
+	// Two disjoint K3s bisect for free.
+	b := graph.NewBuilder(6)
+	for _, tri := range [][3]int{{0, 1, 2}, {3, 4, 5}} {
+		b.AddEdge(tri[0], tri[1])
+		b.AddEdge(tri[1], tri[2])
+		b.AddEdge(tri[2], tri[0])
+	}
+	_, w := MinBisection(b.Build())
+	if w != 0 {
+		t.Errorf("two triangles BW = %d, want 0", w)
+	}
+}
+
+func TestMinBisectionNotBeatenByRandomCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + 2*rng.Intn(4)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		_, w := MinBisection(g)
+		// Every random balanced cut must be at least as large.
+		for probe := 0; probe < 50; probe++ {
+			perm := rng.Perm(n)
+			side := make([]bool, n)
+			for i := 0; i < n/2; i++ {
+				side[perm[i]] = true
+			}
+			if c := cut.New(g, side).Capacity(); c < w {
+				t.Fatalf("random bisection %d beats exact %d", c, w)
+			}
+		}
+	}
+}
+
+func TestMinBisectionWraparoundButterfly(t *testing.T) {
+	// Lemma 3.2: BW(Wn) = n. Exact for W4 (8 nodes) and W8 (24 nodes).
+	for _, n := range []int{4, 8} {
+		w := topology.NewWrappedButterfly(n)
+		_, width := MinBisection(w.Graph)
+		if width != n {
+			t.Errorf("BW(W%d) = %d, want %d", n, width, n)
+		}
+	}
+}
+
+func TestMinBisectionCCC(t *testing.T) {
+	// Lemma 3.3: BW(CCCn) = n/2. Exact for CCC8 (24 nodes).
+	c := topology.NewCCC(8)
+	_, width := MinBisection(c.Graph)
+	if width != 4 {
+		t.Errorf("BW(CCC8) = %d, want 4", width)
+	}
+}
+
+func TestMinBisectionButterflySmall(t *testing.T) {
+	// B4 (12 nodes): the bisection width must lie in the paper's proven
+	// window n/2 ≤ BW(B4) ≤ n, and at n = 4 the folklore value is in fact
+	// achieved (the asymptotic 0.83n construction needs large n).
+	b := topology.NewButterfly(4)
+	bis, width := MinBisection(b.Graph)
+	if width < 2 || width > 4 {
+		t.Errorf("BW(B4) = %d outside [2,4]", width)
+	}
+	if !bis.IsBisection() || bis.Capacity() != width {
+		t.Errorf("invalid optimal cut")
+	}
+}
+
+func TestMinBisectionWithBadBoundRecovers(t *testing.T) {
+	g := cycleGraph(8)
+	_, w := MinBisectionWithBound(g, 0) // unachievable: BW = 2
+	if w != 2 {
+		t.Errorf("recovered BW = %d, want 2", w)
+	}
+	_, w = MinBisectionWithBound(g, 100)
+	if w != 2 {
+		t.Errorf("loose bound BW = %d, want 2", w)
+	}
+}
+
+func TestMinSubsetBisectionPath(t *testing.T) {
+	// Path 0-1-2-3: bisecting {0,3} needs 1 edge; bisecting {0,1} needs 1.
+	g := pathGraph(4)
+	_, w := MinSubsetBisection(g, []int{0, 3})
+	if w != 1 {
+		t.Errorf("subset bisection = %d, want 1", w)
+	}
+	_, w = MinSubsetBisection(g, []int{0, 1})
+	if w != 1 {
+		t.Errorf("adjacent subset bisection = %d, want 1", w)
+	}
+}
+
+func TestMinSubsetBisectionValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(5)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		u := rng.Perm(n)[:2+rng.Intn(n-2)]
+		c, w := MinSubsetBisection(g, u)
+		if !c.BisectsSubset(u) {
+			t.Fatalf("cut does not bisect the subset")
+		}
+		if c.Capacity() != w {
+			t.Fatalf("capacity mismatch")
+		}
+		// A full bisection that bisects U cannot be cheaper than the
+		// U-bisection width.
+		full, fw := MinBisection(g)
+		if full.BisectsSubset(u) && fw < w {
+			t.Fatalf("global bisection %d beats subset optimum %d", fw, w)
+		}
+	}
+}
+
+func TestLemma31InputBisection(t *testing.T) {
+	// Lemma 3.1: any cut of Bn bisecting its inputs has capacity ≥ n.
+	// Exact check on B4: BW(B4, L0) must be exactly 4 (the column cut
+	// achieves it).
+	b := topology.NewButterfly(4)
+	c, w := MinSubsetBisection(b.Graph, b.InputNodes())
+	if w != 4 {
+		t.Errorf("BW(B4, L0) = %d, want 4", w)
+	}
+	if !c.BisectsSubset(b.InputNodes()) {
+		t.Errorf("cut does not bisect inputs")
+	}
+	// Same for inputs∪outputs.
+	io := append(append([]int{}, b.InputNodes()...), b.OutputNodes()...)
+	_, w = MinSubsetBisection(b.Graph, io)
+	if w < 4 {
+		t.Errorf("BW(B4, L0∪Llogn) = %d, want ≥ 4", w)
+	}
+}
+
+func TestLemma212LevelBisection(t *testing.T) {
+	// Lemma 2.12(1): some level i has BW(Bn, L_i) ≤ BW(Bn).
+	b := topology.NewButterfly(4)
+	_, bw := MinBisection(b.Graph)
+	minLevel := -1
+	for i := 0; i <= b.Dim(); i++ {
+		_, w := MinSubsetBisection(b.Graph, b.LevelNodes(i))
+		if minLevel < 0 || w < minLevel {
+			minLevel = w
+		}
+	}
+	if minLevel > bw {
+		t.Errorf("min level-bisection %d exceeds BW %d", minLevel, bw)
+	}
+}

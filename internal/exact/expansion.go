@@ -1,0 +1,301 @@
+package exact
+
+import (
+	"repro/internal/graph"
+)
+
+// MinEdgeExpansion computes EE(g,k) = min_{|S|=k} C(S,S̄) (§1.3), returning
+// a minimizing set and its edge boundary. It is a branch-and-bound over the
+// nodes in BFS order: edges between a chosen in-node and a decided out-node
+// are permanently cut, so the count of such edges is an admissible bound.
+func MinEdgeExpansion(g *graph.Graph, k int) ([]int, int) {
+	return minEdgeExpansion(g, k, -1)
+}
+
+// MinEdgeExpansionContaining computes min C(S,S̄) over sets of size k that
+// contain the node root. On a vertex-transitive network (Wn, CCCn, the
+// hypercube — every node looks alike under the Lemma 2.2/3.2 automorphisms)
+// this equals EE(g,k) while shrinking the search by a factor of N; on other
+// networks it is an upper bound on EE(g,k).
+func MinEdgeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
+	if root < 0 || root >= g.N() {
+		panic("exact: root out of range")
+	}
+	return minEdgeExpansion(g, k, root)
+}
+
+func minEdgeExpansion(g *graph.Graph, k, root int) ([]int, int) {
+	if k < 0 || k > g.N() {
+		panic("exact: expansion set size out of range")
+	}
+	if k == 0 || k == g.N() {
+		return prefixSet(g, k), 0
+	}
+	n := g.N()
+	var order []int32
+	if root >= 0 {
+		order = bfsOrderFrom(g, root)
+	} else {
+		order = bfsOrder(g)
+	}
+
+	assign := make([]int8, n) // -1 undecided, 0 in S, 1 out
+	for i := range assign {
+		assign[i] = unassigned
+	}
+
+	best := g.M() + 1
+	var bestSet []int
+	chosen := 0
+	permCut := 0 // edges between in-nodes and out-nodes
+
+	// suffixCount[i] = number of nodes in order[i:], used to prune when the
+	// remaining nodes cannot complete the set.
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if permCut >= best {
+			return
+		}
+		remaining := n - idx
+		if chosen+remaining < k {
+			return
+		}
+		if chosen == k {
+			// All undecided nodes are out: boundary = permCut + edges from
+			// in-nodes to undecided nodes.
+			total := permCut
+			for v := 0; v < n; v++ {
+				if assign[v] != sideS {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					if assign[u] == unassigned {
+						total++
+					}
+				}
+			}
+			if total < best {
+				best = total
+				bestSet = bestSet[:0]
+				for v := 0; v < n; v++ {
+					if assign[v] == sideS {
+						bestSet = append(bestSet, v)
+					}
+				}
+			}
+			return
+		}
+		if idx == n {
+			return
+		}
+		v := int(order[idx])
+
+		// Include v.
+		delta := 0
+		for _, u := range g.Neighbors(v) {
+			if assign[u] == sideSbar {
+				delta++
+			}
+		}
+		assign[v] = sideS
+		chosen++
+		permCut += delta
+		dfs(idx + 1)
+		permCut -= delta
+		chosen--
+
+		if root >= 0 && idx == 0 {
+			// The root is forced into S.
+			assign[v] = unassigned
+			return
+		}
+
+		// Exclude v.
+		delta = 0
+		for _, u := range g.Neighbors(v) {
+			if assign[u] == sideS {
+				delta++
+			}
+		}
+		assign[v] = sideSbar
+		permCut += delta
+		dfs(idx + 1)
+		permCut -= delta
+		assign[v] = unassigned
+	}
+	dfs(0)
+
+	out := make([]int, len(bestSet))
+	copy(out, bestSet)
+	return out, best
+}
+
+// MinNodeExpansion computes NE(g,k) = min_{|S|=k} |N(S)| (§1.3), returning a
+// minimizing set and its neighbor count. Out-nodes adjacent to an in-node
+// are permanently in N(S), giving the admissible bound.
+func MinNodeExpansion(g *graph.Graph, k int) ([]int, int) {
+	return minNodeExpansion(g, k, -1)
+}
+
+// MinNodeExpansionContaining is the root-forced analogue of
+// MinEdgeExpansionContaining for NE(g,k): exact on vertex-transitive
+// networks, an upper bound elsewhere.
+func MinNodeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
+	if root < 0 || root >= g.N() {
+		panic("exact: root out of range")
+	}
+	return minNodeExpansion(g, k, root)
+}
+
+func minNodeExpansion(g *graph.Graph, k, root int) ([]int, int) {
+	if k < 0 || k > g.N() {
+		panic("exact: expansion set size out of range")
+	}
+	if k == 0 || k == g.N() {
+		return prefixSet(g, k), 0
+	}
+	n := g.N()
+	var order []int32
+	if root >= 0 {
+		order = bfsOrderFrom(g, root)
+	} else {
+		order = bfsOrder(g)
+	}
+
+	assign := make([]int8, n)
+	for i := range assign {
+		assign[i] = unassigned
+	}
+	// inNbrs[v] = number of in-node neighbors of v; a decided-out node with
+	// inNbrs > 0 is permanently a neighbor of S.
+	inNbrs := make([]int32, n)
+
+	best := n + 1
+	var bestSet []int
+	chosen := 0
+	permNbrs := 0
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if permNbrs >= best {
+			return
+		}
+		remaining := n - idx
+		if chosen+remaining < k {
+			return
+		}
+		if chosen == k {
+			// All undecided nodes become out: N(S) = permanently marked
+			// out-nodes + undecided nodes with an in-neighbor.
+			total := permNbrs
+			for v := 0; v < n; v++ {
+				if assign[v] == unassigned && inNbrs[v] > 0 {
+					total++
+				}
+			}
+			if total < best {
+				best = total
+				bestSet = bestSet[:0]
+				for v := 0; v < n; v++ {
+					if assign[v] == sideS {
+						bestSet = append(bestSet, v)
+					}
+				}
+			}
+			return
+		}
+		if idx == n {
+			return
+		}
+		v := int(order[idx])
+
+		// Include v: decided-out neighbors with inNbrs == 0 become new
+		// permanent neighbors.
+		delta := 0
+		for _, u := range g.Neighbors(v) {
+			if assign[u] == sideSbar && inNbrs[u] == 0 {
+				delta++
+			}
+			inNbrs[u]++
+		}
+		assign[v] = sideS
+		chosen++
+		permNbrs += delta
+		dfs(idx + 1)
+		permNbrs -= delta
+		chosen--
+		for _, u := range g.Neighbors(v) {
+			inNbrs[u]--
+		}
+
+		if root >= 0 && idx == 0 {
+			// The root is forced into S.
+			assign[v] = unassigned
+			return
+		}
+
+		// Exclude v: if it already has an in-neighbor it becomes a
+		// permanent member of N(S).
+		delta = 0
+		if inNbrs[v] > 0 {
+			delta = 1
+		}
+		assign[v] = sideSbar
+		permNbrs += delta
+		dfs(idx + 1)
+		permNbrs -= delta
+		assign[v] = unassigned
+	}
+	dfs(0)
+
+	out := make([]int, len(bestSet))
+	copy(out, bestSet)
+	return out, best
+}
+
+// bfsOrderFrom returns a BFS order rooted at the given node, covering
+// remaining components afterwards.
+func bfsOrderFrom(g *graph.Graph, root int) []int32 {
+	n := g.N()
+	order := make([]int32, 0, n)
+	seen := make([]bool, n)
+	queue := []int32{int32(root)}
+	seen[root] = true
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		order = append(order, v)
+		for _, w := range g.Neighbors(int(v)) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue[:0], int32(v))
+			for head := 0; head < len(queue); head++ {
+				x := queue[head]
+				order = append(order, x)
+				for _, w := range g.Neighbors(int(x)) {
+					if !seen[w] {
+						seen[w] = true
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// prefixSet returns the first k node ids, used for the trivial k ∈ {0, N}
+// cases where the boundary is empty.
+func prefixSet(g *graph.Graph, k int) []int {
+	s := make([]int, k)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

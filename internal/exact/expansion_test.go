@@ -1,0 +1,175 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestMinEdgeExpansionCycle(t *testing.T) {
+	// On a cycle, every contiguous arc of 1 ≤ k < n nodes has boundary 2,
+	// and nothing beats it.
+	g := cycleGraph(10)
+	for k := 1; k < 10; k++ {
+		set, v := MinEdgeExpansion(g, k)
+		if v != 2 {
+			t.Errorf("EE(C10,%d) = %d, want 2", k, v)
+		}
+		if len(set) != k {
+			t.Errorf("set size %d, want %d", len(set), k)
+		}
+		if cut.EdgeBoundary(g, set) != v {
+			t.Errorf("reported value does not match set boundary")
+		}
+	}
+}
+
+func TestMinEdgeExpansionComplete(t *testing.T) {
+	// EE(K_N, k) = k(N−k) (§1.4).
+	g := topology.NewComplete(7)
+	for k := 0; k <= 7; k++ {
+		_, v := MinEdgeExpansion(g, k)
+		if want := k * (7 - k); v != want {
+			t.Errorf("EE(K7,%d) = %d, want %d", k, v, want)
+		}
+	}
+}
+
+func TestMinNodeExpansionCycle(t *testing.T) {
+	g := cycleGraph(10)
+	for k := 1; k <= 8; k++ {
+		set, v := MinNodeExpansion(g, k)
+		if v != 2 {
+			t.Errorf("NE(C10,%d) = %d, want 2", k, v)
+		}
+		if got := len(cut.NodeBoundary(g, set)); got != v {
+			t.Errorf("reported %d but set has %d neighbors", v, got)
+		}
+	}
+	// k = 9: only one node remains outside and it is adjacent to the arc.
+	_, v := MinNodeExpansion(g, 9)
+	if v != 1 {
+		t.Errorf("NE(C10,9) = %d, want 1", v)
+	}
+}
+
+func TestMinNodeExpansionStar(t *testing.T) {
+	// Star K_{1,5}: any k ≤ 5 leaves have exactly one neighbor (the hub).
+	g := topology.NewCompleteBipartite(1, 5)
+	for k := 1; k <= 4; k++ {
+		_, v := MinNodeExpansion(g, k)
+		if v != 1 {
+			t.Errorf("NE(star,%d) = %d, want 1", k, v)
+		}
+	}
+}
+
+func TestExpansionTrivialSizes(t *testing.T) {
+	g := cycleGraph(6)
+	if _, v := MinEdgeExpansion(g, 0); v != 0 {
+		t.Errorf("EE(·,0) = %d", v)
+	}
+	if _, v := MinEdgeExpansion(g, 6); v != 0 {
+		t.Errorf("EE(·,N) = %d", v)
+	}
+	if _, v := MinNodeExpansion(g, 0); v != 0 {
+		t.Errorf("NE(·,0) = %d", v)
+	}
+}
+
+func TestExpansionAgainstBruteForce(t *testing.T) {
+	// Compare the branch-and-bound against plain enumeration on random
+	// graphs small enough to enumerate.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(4)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		for k := 1; k <= n/2; k++ {
+			_, gotEE := MinEdgeExpansion(g, k)
+			_, gotNE := MinNodeExpansion(g, k)
+			wantEE, wantNE := bruteForceExpansion(g, k)
+			if gotEE != wantEE {
+				t.Errorf("n=%d k=%d: EE = %d, brute force %d", n, k, gotEE, wantEE)
+			}
+			if gotNE != wantNE {
+				t.Errorf("n=%d k=%d: NE = %d, brute force %d", n, k, gotNE, wantNE)
+			}
+		}
+	}
+}
+
+// bruteForceExpansion enumerates all k-subsets via bitmasks.
+func bruteForceExpansion(g *graph.Graph, k int) (ee, ne int) {
+	n := g.N()
+	ee, ne = 1<<30, 1<<30
+	var set []int
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != k {
+			continue
+		}
+		set = set[:0]
+		for v := 0; v < n; v++ {
+			if mask>>v&1 == 1 {
+				set = append(set, v)
+			}
+		}
+		if b := cut.EdgeBoundary(g, set); b < ee {
+			ee = b
+		}
+		if b := len(cut.NodeBoundary(g, set)); b < ne {
+			ne = b
+		}
+	}
+	return ee, ne
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestExpansionButterflySanity(t *testing.T) {
+	// On B4 the single cheapest node to isolate is an input/output (degree
+	// 2), so EE(B4,1) = 2; a 2-node set can share one edge: EE(B4,2) = 2·2−...
+	// an input plus its level-1 neighbor has boundary 2+4−2 = 4, two inputs
+	// have boundary 4, so EE(B4,2) = 4.
+	b := topology.NewButterfly(4)
+	if _, v := MinEdgeExpansion(b.Graph, 1); v != 2 {
+		t.Errorf("EE(B4,1) = %d, want 2", v)
+	}
+	if _, v := MinEdgeExpansion(b.Graph, 2); v != 4 {
+		t.Errorf("EE(B4,2) = %d, want 4", v)
+	}
+	if _, v := MinNodeExpansion(b.Graph, 1); v != 2 {
+		t.Errorf("NE(B4,1) = %d, want 2", v)
+	}
+}
+
+func TestExpansionSizeValidation(t *testing.T) {
+	g := cycleGraph(4)
+	for _, bad := range []int{-1, 5} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", bad)
+				}
+			}()
+			MinEdgeExpansion(g, bad)
+		}()
+	}
+}

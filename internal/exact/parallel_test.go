@@ -1,0 +1,79 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestMinBisectionParallelMatchesSerial(t *testing.T) {
+	cases := []*graph.Graph{
+		topology.NewWrappedButterfly(8).Graph,
+		topology.NewCCC(8).Graph,
+		topology.NewHypercube(4).Graph,
+		topology.NewButterfly(4).Graph, // below the fan-out threshold
+	}
+	for i, g := range cases {
+		_, serial := MinBisection(g)
+		cPar, par := MinBisectionParallel(g, 4)
+		if par != serial {
+			t.Errorf("case %d: parallel %d, serial %d", i, par, serial)
+		}
+		if !cPar.IsBisection() || cPar.Capacity() != par {
+			t.Errorf("case %d: invalid parallel witness", i)
+		}
+	}
+}
+
+func TestMinBisectionParallelRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + 2*rng.Intn(4)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		_, serial := MinBisection(g)
+		_, par := MinBisectionParallel(g, 3)
+		if par != serial {
+			t.Fatalf("trial %d: parallel %d ≠ serial %d", trial, par, serial)
+		}
+	}
+}
+
+func TestMinBisectionParallelWorkerCounts(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	_, want := MinBisection(g)
+	for _, workers := range []int{0, 1, 2, 8} {
+		if _, got := MinBisectionParallel(g, workers); got != want {
+			t.Errorf("workers=%d: %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestMinBisectionParallelSeedOptimal(t *testing.T) {
+	// Disconnected components: the BFS-prefix seed is already optimal
+	// (capacity 0), so the shared bound never improves and the seed path
+	// must be returned.
+	b := graph.NewBuilder(20)
+	for i := 0; i < 10; i += 2 {
+		b.AddEdge(i, i+1)
+	}
+	for i := 10; i < 20; i += 2 {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	c, w := MinBisectionParallel(g, 4)
+	if w != 0 {
+		t.Errorf("width %d, want 0", w)
+	}
+	if !c.IsBisection() {
+		t.Errorf("witness not a bisection")
+	}
+}

@@ -1,0 +1,24 @@
+package expansion_test
+
+import (
+	"fmt"
+
+	"repro/internal/cut"
+	"repro/internal/expansion"
+	"repro/internal/topology"
+)
+
+func ExampleWnEdgeCreditBound() {
+	// Lemma 4.2's credit scheme certifies a lower bound on the boundary of
+	// any concrete set; here the Lemma 4.1 witness sub-butterfly.
+	w := topology.NewWrappedButterfly(64)
+	set := expansion.WnEdgeWitness(w, 3) // k = 32
+	r := expansion.WnEdgeCreditBound(w, set)
+	fmt.Println("k:", r.K)
+	fmt.Println("certified lower bound:", r.LowerBound)
+	fmt.Println("actual boundary:", cut.EdgeBoundary(w.Graph, set))
+	// Output:
+	// k: 32
+	// certified lower bound: 22
+	// actual boundary: 32
+}

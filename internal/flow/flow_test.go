@@ -1,0 +1,206 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestMaxFlowTiny(t *testing.T) {
+	// s→a→t and s→b→t, unit capacities: flow 2.
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 1)
+	f.AddArc(1, 3, 1)
+	f.AddArc(0, 2, 1)
+	f.AddArc(2, 3, 1)
+	if got := f.MaxFlow(0, 3); got != 2 {
+		t.Errorf("flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	// s→a (cap 5), a→t (cap 3): flow 3.
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 5)
+	f.AddArc(1, 2, 3)
+	if got := f.MaxFlow(0, 2); got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// The classic CLRS example: max flow 23.
+	f := NewNetwork(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.MaxFlow(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+}
+
+func TestMinCutSideMatchesFlow(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 2)
+	f.AddArc(1, 2, 1)
+	f.AddArc(2, 3, 2)
+	fl := f.MaxFlow(0, 3)
+	if fl != 1 {
+		t.Fatalf("flow = %d", fl)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut side wrong: %v", side)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 7)
+	if got := f.MaxFlow(0, 2); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestMengerOnButterfly(t *testing.T) {
+	// Menger/rearrangeability flavor: the minimum edge cut separating all
+	// inputs of Bn from all outputs is 2n — every input has two
+	// edge-disjoint escape routes and level 0→1 has 2n edges total.
+	for _, n := range []int{4, 8, 16} {
+		b := topology.NewButterfly(n)
+		got := EdgeConnectivity(b.N(), b.Neighbors, b.InputNodes(), b.OutputNodes())
+		if got != 2*n {
+			t.Errorf("B%d: input/output edge connectivity %d, want %d", n, got, 2*n)
+		}
+	}
+}
+
+func TestVertexSeparatorInputsToOutputs(t *testing.T) {
+	// The minimum vertex separator between the inputs and outputs of Bn is
+	// n: any full level is a separator, and n node-disjoint input→output
+	// paths exist (the column paths).
+	for _, n := range []int{4, 8, 16} {
+		b := topology.NewButterfly(n)
+		sep := VertexSeparator(b.N(), b.Neighbors, b.InputNodes(), b.OutputNodes())
+		if len(sep) != n {
+			t.Errorf("B%d: separator size %d, want %d", n, len(sep), n)
+		}
+		// Removing the separator must disconnect inputs from outputs.
+		if stillConnected(b, sep) {
+			t.Errorf("B%d: separator does not separate", n)
+		}
+	}
+}
+
+func stillConnected(b *topology.Butterfly, sep []int) bool {
+	blocked := make([]bool, b.N())
+	for _, v := range sep {
+		blocked[v] = true
+	}
+	seen := make([]bool, b.N())
+	var queue []int
+	for _, v := range b.InputNodes() {
+		if !blocked[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range b.Neighbors(v) {
+			if !seen[u] && !blocked[u] {
+				seen[u] = true
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	for _, v := range b.OutputNodes() {
+		if seen[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVertexSeparatorMayIncludeTargets(t *testing.T) {
+	// Separating a single node from everything costs exactly min(degree, 1
+	// via itself): the separator {v} itself is valid (Hong–Kung allows
+	// D ∩ S ≠ ∅), so the answer is 1.
+	b := topology.NewButterfly(4)
+	v := b.Node(0, 1)
+	sep := VertexSeparator(b.N(), b.Neighbors, b.InputNodes(), []int{v})
+	if len(sep) != 1 {
+		t.Errorf("separator size %d, want 1", len(sep))
+	}
+}
+
+func TestEdgeConnectivityRandomAgainstCutEnum(t *testing.T) {
+	// Cross-check max-flow min-cut against explicit cut enumeration on
+	// small random graphs.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(4)
+		type edge struct{ u, v int }
+		var edges []edge
+		adj := make([][]int32, n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, edge{u, v})
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+		}
+		src, dst := 0, n-1
+		got := EdgeConnectivity(n, func(v int) []int32 { return adj[v] }, []int{src}, []int{dst})
+		// Enumerate all cuts with src on one side, dst on the other.
+		want := 1 << 30
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask>>src&1 != 1 || mask>>dst&1 != 0 {
+				continue
+			}
+			capc := 0
+			for _, e := range edges {
+				if mask>>e.u&1 != mask>>e.v&1 {
+					capc++
+				}
+			}
+			if capc < want {
+				want = capc
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: flow %d, enumeration %d", trial, got, want)
+		}
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	f := NewNetwork(2)
+	for _, bad := range [][3]int{{-1, 0, 1}, {0, 2, 1}, {0, 1, -1}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddArc%v did not panic", bad)
+				}
+			}()
+			f.AddArc(bad[0], bad[1], bad[2])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("s==t did not panic")
+		}
+	}()
+	f.MaxFlow(1, 1)
+}

@@ -1,0 +1,181 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic as undirected
+// multigraphs. It is a backtracking search with iterated degree-signature
+// pruning, intended for the small graphs used in structural tests (a few
+// dozen nodes, e.g. verifying that the components of Bn[i,j] are copies of
+// B_{2^(j−i)} as Lemma 2.4 claims). It is exponential in the worst case and
+// should not be fed large graphs.
+func Isomorphic(g, h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+
+	// Canonical iterated-degree colors: isomorphic graphs always produce
+	// identical color multisets, so a mismatch rejects immediately and
+	// equal colors gate the candidate pairs during backtracking. (A hash
+	// collision can only merge color classes, which costs search time but
+	// never wrongly rejects.)
+	gc := refineColors(g)
+	hc := refineColors(h)
+	if !sameMultiset(gc, hc) {
+		return false
+	}
+
+	// Order g's nodes so that each node (after the first of its component)
+	// is adjacent to an earlier node; this makes the consistency check
+	// prune early.
+	order := searchOrder(g)
+
+	hUsed := make([]bool, n)
+	mapping := make([]int32, n) // g node -> h node
+	for i := range mapping {
+		mapping[i] = -1
+	}
+
+	var try func(idx int) bool
+	try = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		v := order[idx]
+		for u := 0; u < n; u++ {
+			if hUsed[u] || gc[v] != hc[u] {
+				continue
+			}
+			if !consistent(g, h, mapping, int(v), u) {
+				continue
+			}
+			mapping[v] = int32(u)
+			hUsed[u] = true
+			if try(idx + 1) {
+				return true
+			}
+			mapping[v] = -1
+			hUsed[u] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// consistent checks that mapping g-node v to h-node u preserves edge
+// multiplicities to all previously mapped neighbors, in both directions.
+func consistent(g, h *Graph, mapping []int32, v, u int) bool {
+	for _, w := range g.Neighbors(v) {
+		if mu := mapping[w]; mu >= 0 {
+			if g.EdgeMultiplicity(v, int(w)) != h.EdgeMultiplicity(u, int(mu)) {
+				return false
+			}
+		}
+	}
+	// Symmetric count: u must have exactly as many edges into the image of
+	// the mapped set as v has into the mapped set, so u cannot hide extra
+	// adjacencies to already-mapped nodes.
+	gCount, hCount := 0, 0
+	for _, w := range g.Neighbors(v) {
+		if mapping[w] >= 0 {
+			gCount++
+		}
+	}
+	mappedH := make(map[int32]bool, len(mapping))
+	for _, mu := range mapping {
+		if mu >= 0 {
+			mappedH[mu] = true
+		}
+	}
+	for _, w := range h.Neighbors(u) {
+		if mappedH[w] {
+			hCount++
+		}
+	}
+	return gCount == hCount
+}
+
+// refineColors computes a canonical iterated-degree coloring: node colors are
+// FNV-style hashes of (own color, sorted neighbor colors), iterated to a
+// fixed depth. Because the computation depends only on the isomorphism type
+// of the node's neighborhood, corresponding nodes of isomorphic graphs get
+// equal colors.
+func refineColors(g *Graph) []int64 {
+	n := g.N()
+	colors := make([]int64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = int64(g.Degree(v))
+	}
+	next := make([]int64, n)
+	// n rounds always suffice for the refinement to stabilize; cap the
+	// depth to keep the filter cheap on the larger test graphs.
+	rounds := n
+	if rounds > 32 {
+		rounds = 32
+	}
+	buf := make([]int64, 0, g.MaxDegree())
+	for round := 0; round < rounds; round++ {
+		for v := 0; v < n; v++ {
+			nb := g.Neighbors(v)
+			buf = buf[:0]
+			for _, w := range nb {
+				buf = append(buf, colors[w])
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			h := int64(1469598103934665603) ^ colors[v]
+			h *= 1099511628211
+			for _, c := range buf {
+				h = (h ^ c) * 1099511628211
+			}
+			next[v] = h
+		}
+		colors, next = next, colors
+	}
+	return colors
+}
+
+func sameMultiset(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[int64]int, len(a))
+	for _, c := range a {
+		counts[c]++
+	}
+	for _, c := range b {
+		counts[c]--
+		if counts[c] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// searchOrder returns a node order in which each node after the first of its
+// component is adjacent to some earlier node.
+func searchOrder(g *Graph) []int32 {
+	n := g.N()
+	order := make([]int32, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []int32{int32(start)}
+		seen[start] = true
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			for _, w := range g.Neighbors(int(v)) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}

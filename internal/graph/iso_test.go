@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// relabel returns g with nodes permuted by a random permutation.
+func relabel(g *Graph, rng *rand.Rand) *Graph {
+	n := g.N()
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.U], perm[e.V])
+	}
+	return b.Build()
+}
+
+func TestIsomorphicTrivial(t *testing.T) {
+	if !Isomorphic(NewBuilder(0).Build(), NewBuilder(0).Build()) {
+		t.Errorf("empty graphs should be isomorphic")
+	}
+	if !Isomorphic(NewBuilder(3).Build(), NewBuilder(3).Build()) {
+		t.Errorf("edgeless graphs should be isomorphic")
+	}
+	if Isomorphic(NewBuilder(2).Build(), NewBuilder(3).Build()) {
+		t.Errorf("different orders should not be isomorphic")
+	}
+}
+
+func TestIsomorphicRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range []*Graph{path(7), cycle(8), complete(5)} {
+		for trial := 0; trial < 5; trial++ {
+			h := relabel(g, rng)
+			if !Isomorphic(g, h) {
+				t.Errorf("graph should be isomorphic to its relabeling")
+			}
+		}
+	}
+}
+
+func TestIsomorphicNegative(t *testing.T) {
+	if Isomorphic(path(6), cycle(6)) {
+		t.Errorf("P6 vs C6")
+	}
+	// Same degree sequence, non-isomorphic: C6 vs two triangles.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	twoTriangles := b.Build()
+	if Isomorphic(cycle(6), twoTriangles) {
+		t.Errorf("C6 vs 2×C3 should not be isomorphic")
+	}
+}
+
+func TestIsomorphicMultigraph(t *testing.T) {
+	// Double edge {0,1} plus single {1,2} vs single {0,1} plus double {1,2}
+	// are isomorphic (swap 0 and 2); vs all-single path with an extra
+	// parallel on a different pair is not.
+	b1 := NewBuilder(3)
+	b1.AddEdge(0, 1)
+	b1.AddEdge(0, 1)
+	b1.AddEdge(1, 2)
+	g1 := b1.Build()
+
+	b2 := NewBuilder(3)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(1, 2)
+	b2.AddEdge(1, 2)
+	g2 := b2.Build()
+
+	if !Isomorphic(g1, g2) {
+		t.Errorf("mirror multigraphs should be isomorphic")
+	}
+
+	// Triangle vs double-edge+single-edge: same n and m, different structure.
+	b3 := NewBuilder(3)
+	b3.AddEdge(0, 1)
+	b3.AddEdge(1, 2)
+	b3.AddEdge(2, 0)
+	g3 := b3.Build()
+	if Isomorphic(g1, g3) {
+		t.Errorf("multigraph vs triangle should not be isomorphic")
+	}
+}
+
+func TestIsomorphicRandomRegularish(t *testing.T) {
+	// Random graphs relabeled must stay isomorphic; adding one edge must
+	// break it (edge counts differ).
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(6)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		if !Isomorphic(g, relabel(g, rng)) {
+			t.Fatalf("trial %d: relabeled graph not detected isomorphic", trial)
+		}
+	}
+}
+
+func TestIsomorphicDisconnected(t *testing.T) {
+	// P3 + P1 vs P2 + P2: same node and edge counts, not isomorphic.
+	b1 := NewBuilder(4)
+	b1.AddEdge(0, 1)
+	b1.AddEdge(1, 2)
+	g1 := b1.Build()
+	b2 := NewBuilder(4)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(2, 3)
+	g2 := b2.Build()
+	if Isomorphic(g1, g2) {
+		t.Errorf("P3+P1 vs P2+P2 should not be isomorphic")
+	}
+}

@@ -1,0 +1,114 @@
+package heuristic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestAnnealFindsOptimaOnSmallGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"cycle12", cycleGraph(12), 2},
+		{"Q4", topology.NewHypercube(4).Graph, 8},
+		{"W8", topology.NewWrappedButterfly(8).Graph, 8},
+	}
+	for _, c := range cases {
+		bis := Anneal(c.g, AnnealOptions{Seed: 2})
+		if !bis.IsBisection() {
+			t.Errorf("%s: not a bisection", c.name)
+		}
+		if got := bis.Capacity(); got != c.want {
+			t.Errorf("%s: anneal found %d, optimum is %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAnnealNeverBelowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + 2*rng.Intn(3)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		_, opt := exact.MinBisection(g)
+		a := Anneal(g, AnnealOptions{Seed: int64(trial), Sweeps: 32})
+		if a.Capacity() < opt {
+			t.Fatalf("anneal %d beat exact optimum %d", a.Capacity(), opt)
+		}
+	}
+}
+
+func TestAnnealBalancePreserved(t *testing.T) {
+	g := topology.NewButterfly(16).Graph
+	a := Anneal(g, AnnealOptions{Seed: 5, Sweeps: 16})
+	if !a.IsBisection() || a.Imbalance() > g.N()%2 {
+		t.Errorf("anneal broke balance: %d/%d", a.SizeS(), a.SizeSbar())
+	}
+}
+
+func TestAnnealTiny(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if c := Anneal(empty, AnnealOptions{Seed: 1}); c.Capacity() != 0 {
+		t.Errorf("empty capacity %d", c.Capacity())
+	}
+	one := graph.NewBuilder(1).Build()
+	if c := Anneal(one, AnnealOptions{Seed: 1}); !c.IsBisection() {
+		t.Errorf("singleton not a bisection")
+	}
+}
+
+func TestSwapDeltaMatchesRecompute(t *testing.T) {
+	// The incremental swap delta must equal the recomputed difference,
+	// including parallel edges between the swapped pair.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 3) // parallel pair crossing the cut
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(2, 5)
+	g := b.Build()
+	c := cut.FromSet(g, []int{0, 1, 2})
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var sNodes, tNodes []int
+		for v := 0; v < g.N(); v++ {
+			if c.InS(v) {
+				sNodes = append(sNodes, v)
+			} else {
+				tNodes = append(tNodes, v)
+			}
+		}
+		u := sNodes[rng.Intn(len(sNodes))]
+		v := tNodes[rng.Intn(len(tNodes))]
+		before := c.Capacity()
+		want := 0
+		c.Move(u)
+		c.Move(v)
+		want = c.Capacity() - before
+		c.Move(u)
+		c.Move(v)
+		if got := swapDelta(g, c, u, v); got != want {
+			t.Fatalf("swapDelta(%d,%d) = %d, recompute %d", u, v, got, want)
+		}
+		// Randomly apply the swap to vary the state.
+		if rng.Intn(2) == 0 {
+			c.Move(u)
+			c.Move(v)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package heuristic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestBisectParallelMatchesSerialBest(t *testing.T) {
+	// The parallel search over starts {seed, seed+1, ...} must find a cut
+	// at least as good as any single-start serial run with those seeds,
+	// and be deterministic.
+	g := topology.NewWrappedButterfly(8).Graph
+	par := BisectParallel(g, BisectOptions{Starts: 8, Seed: 100})
+	if !par.IsBisection() {
+		t.Fatalf("not a bisection")
+	}
+	bestSerial := 1 << 30
+	for i := 0; i < 8; i++ {
+		c := Bisect(g, BisectOptions{Starts: 1, Seed: 100 + int64(i)})
+		if cp := c.Capacity(); cp < bestSerial {
+			bestSerial = cp
+		}
+	}
+	if par.Capacity() != bestSerial {
+		t.Errorf("parallel best %d, serial best %d", par.Capacity(), bestSerial)
+	}
+	again := BisectParallel(g, BisectOptions{Starts: 8, Seed: 100})
+	if again.Capacity() != par.Capacity() {
+		t.Errorf("nondeterministic: %d vs %d", again.Capacity(), par.Capacity())
+	}
+}
+
+func TestBisectParallelFindsOptimum(t *testing.T) {
+	c := topology.NewCCC(8)
+	bis := BisectParallel(c.Graph, BisectOptions{Starts: 16, Seed: 1})
+	if bis.Capacity() != 4 {
+		t.Errorf("parallel search found %d, optimum is 4", bis.Capacity())
+	}
+}
+
+func TestBisectParallelEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if c := BisectParallel(g, BisectOptions{Seed: 1}); c.Capacity() != 0 {
+		t.Errorf("empty graph capacity %d", c.Capacity())
+	}
+}

@@ -1,0 +1,130 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/topology"
+)
+
+func TestPackedLayoutValid(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		b := topology.NewButterfly(n)
+		l := New(b, Packed)
+		if err := l.Validate(); err != nil {
+			t.Errorf("B%d packed: %v", n, err)
+		}
+	}
+}
+
+func TestNaiveLayoutValid(t *testing.T) {
+	for _, n := range []int{4, 8, 32} {
+		b := topology.NewButterfly(n)
+		l := New(b, Naive)
+		if err := l.Validate(); err != nil {
+			t.Errorf("B%d naive: %v", n, err)
+		}
+	}
+}
+
+func TestPackedAreaIsQuadratic(t *testing.T) {
+	// §1.1: layout area of Bn is (1±o(1))n². The packed strategy's
+	// Area/n² must approach a small constant (≈1) as n grows, while the
+	// naive strategy diverges like log n.
+	prevPacked := 0.0
+	for _, n := range []int{16, 64, 256, 1024} {
+		b := topology.NewButterfly(n)
+		packed := New(b, Packed)
+		ratio := packed.AreaRatio()
+		if ratio > 2.6 {
+			t.Errorf("B%d: packed area ratio %.3f, want ≈ 2", n, ratio)
+		}
+		if prevPacked > 0 && ratio > prevPacked+1e-9 {
+			t.Errorf("B%d: packed ratio %.3f increased from %.3f", n, ratio, prevPacked)
+		}
+		prevPacked = ratio
+
+		naive := New(b, Naive)
+		if naive.Area() <= packed.Area() {
+			t.Errorf("B%d: naive area %d not larger than packed %d", n, naive.Area(), packed.Area())
+		}
+	}
+	// At n=1024 the packed ratio should be close to 2 (n(2n+log n)/n²).
+	b := topology.NewButterfly(1024)
+	if r := New(b, Packed).AreaRatio(); r > 2.05 {
+		t.Errorf("packed ratio at n=1024 is %.4f, want ≤ 2.05", r)
+	}
+}
+
+func TestNaiveAreaGrowsWithLog(t *testing.T) {
+	// Naive area ≈ n²·log n /2: the ratio to n² grows with log n.
+	r16 := New(topology.NewButterfly(16), Naive).AreaRatio()
+	r256 := New(topology.NewButterfly(256), Naive).AreaRatio()
+	if r256 <= r16 {
+		t.Errorf("naive ratio did not grow: %.3f vs %.3f", r16, r256)
+	}
+}
+
+func TestThompsonConsistency(t *testing.T) {
+	// A ≥ BW²: the packed layout's area must dominate the square of the
+	// constructed bisection width (§1.2's Thompson bound, with our
+	// measured BW upper bound standing in for BW).
+	for _, n := range []int{16, 64, 256, 1024} {
+		b := topology.NewButterfly(n)
+		l := New(b, Packed)
+		bw := construct.BestPlan(n).Capacity
+		if !l.ThompsonConsistent(bw) {
+			t.Errorf("B%d: area %d below BW² = %d — impossible", n, l.Area(), bw*bw)
+		}
+		// And the bound is not vacuous: area is within a small factor of
+		// BW² (both are Θ(n²)).
+		if l.Area() > 8*bw*bw {
+			t.Errorf("B%d: area %d more than 8×BW² = %d — layout too loose", n, l.Area(), 8*bw*bw)
+		}
+	}
+}
+
+func TestWireEndpointsMatchEdges(t *testing.T) {
+	// Every wire corresponds to a real butterfly edge.
+	b := topology.NewButterfly(8)
+	l := New(b, Packed)
+	for _, w := range l.Wires {
+		u := b.Node(w.FromCol, w.Gap)
+		v := b.Node(w.ToCol, w.Gap+1)
+		if !b.HasEdge(u, v) {
+			t.Fatalf("wire %+v does not correspond to an edge", w)
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	b := topology.NewButterfly(8)
+	l := New(b, Packed)
+	// Force two overlapping cross wires onto the same track.
+	for i := range l.Wires {
+		if l.Wires[i].Track >= 0 {
+			l.Wires[i].Track = 0
+		}
+	}
+	if l.Validate() == nil {
+		t.Errorf("overlap not caught")
+	}
+}
+
+func TestValidateCatchesMissingWires(t *testing.T) {
+	b := topology.NewButterfly(4)
+	l := New(b, Packed)
+	l.Wires = l.Wires[:len(l.Wires)-1]
+	if l.Validate() == nil {
+		t.Errorf("missing wire not caught")
+	}
+}
+
+func TestLayoutRejectsWn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Wn did not panic")
+		}
+	}()
+	New(topology.NewWrappedButterfly(8), Packed)
+}

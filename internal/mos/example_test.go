@@ -1,0 +1,19 @@
+package mos_test
+
+import (
+	"fmt"
+
+	"repro/internal/mos"
+)
+
+func ExampleM2BisectionWidth() {
+	// Lemma 2.19: BW(MOS_{j,j},M2)/j² approaches √2−1 ≈ 0.4142.
+	for _, j := range []int{8, 64, 512} {
+		r := mos.M2BisectionWidth(j)
+		fmt.Printf("j=%-3d capacity=%-6d ratio=%.4f\n", j, r.Capacity, r.Ratio)
+	}
+	// Output:
+	// j=8   capacity=28     ratio=0.4375
+	// j=64  capacity=1710   ratio=0.4175
+	// j=512 capacity=108600 ratio=0.4143
+}

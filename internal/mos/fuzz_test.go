@@ -1,0 +1,65 @@
+package mos
+
+import (
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// FuzzSideCost cross-checks the closed-form middle-placement cost against a
+// direct greedy construction for arbitrary (j,k,a,b,t).
+func FuzzSideCost(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(1), uint8(2))
+	f.Add(uint8(4), uint8(3), uint8(2), uint8(3), uint8(6))
+	f.Add(uint8(5), uint8(5), uint8(0), uint8(5), uint8(12))
+	f.Fuzz(func(t *testing.T, jr, kr, ar, br, tr uint8) {
+		j := 1 + int(jr)%5
+		k := 1 + int(kr)%5
+		a := int(ar) % (j + 1)
+		b := int(br) % (k + 1)
+		tc := int(tr) % (j*k + 1)
+		got := SideCost(j, k, a, b, tc)
+
+		// Rebuild the optimal middle placement explicitly and measure it.
+		m := topology.NewMeshOfStars(j, k)
+		side := make([]bool, m.N())
+		for aa := 0; aa < a; aa++ {
+			side[m.M1Node(aa)] = true
+		}
+		for bb := 0; bb < b; bb++ {
+			side[m.M3Node(bb)] = true
+		}
+		type mid struct{ v, cost int }
+		var mids []mid
+		for aa := 0; aa < j; aa++ {
+			for bb := 0; bb < k; bb++ {
+				inA := 0
+				if aa >= a {
+					inA++
+				}
+				if bb >= b {
+					inA++
+				}
+				mids = append(mids, mid{m.M2Node(aa, bb), inA})
+			}
+		}
+		placed := 0
+		for _, want := range []int{0, 1, 2} {
+			for _, md := range mids {
+				if placed == tc {
+					break
+				}
+				if md.cost == want {
+					side[md.v] = true
+					placed++
+				}
+			}
+		}
+		measured := cut.New(m.Graph, side).Capacity()
+		if measured != got {
+			t.Fatalf("SideCost(%d,%d,%d,%d,%d) = %d, greedy construction measures %d",
+				j, k, a, b, tc, got, measured)
+		}
+	})
+}

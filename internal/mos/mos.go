@@ -1,0 +1,184 @@
+// Package mos analyzes the M2-bisection width of the mesh of stars,
+// following §2.2 of the paper: the function f(x,y) = x + y − min(1,2xy) on
+// the domain D = {0 ≤ x,y ≤ 1, x+y ≥ 1} governs the capacity of cuts of
+// MOS_{j,j} that bisect the middle level M2, its global minimum √2 − 1 is
+// attained at x = y = √(1/2) (Lemma 2.18), and therefore
+// BW(MOS_{j,j},M2)/j² → √2 − 1 (Lemma 2.19). This limit is the constant in
+// the paper's headline result BW(Bn) = 2(√2−1)n + o(n).
+package mos
+
+import (
+	"math"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// Limit is √2 − 1, the limit of BW(MOS_{j,j},M2)/j² (Lemma 2.19) and half
+// the leading constant of BW(Bn)/n (Theorem 2.20).
+var Limit = math.Sqrt2 - 1
+
+// F is the paper's f(x,y) = x + y − min(1, 2xy) (Lemma 2.17). It equals
+// C(g)/j² for the cheapest cut g of MOS_{j,j} that bisects M2 with
+// |A∩M1| = xj and |A∩M3| = yj, for ⟨x,y⟩ in the domain D.
+func F(x, y float64) float64 {
+	return x + y - math.Min(1, 2*x*y)
+}
+
+// InDomain reports whether ⟨x,y⟩ lies in D = {0 ≤ x,y ≤ 1 and x+y ≥ 1}.
+func InDomain(x, y float64) bool {
+	return x >= 0 && x <= 1 && y >= 0 && y <= 1 && x+y >= 1
+}
+
+// SideCost returns the minimum capacity over cuts (A,Ā) of MOS_{j,k} with
+// |A∩M1| = a, |A∩M3| = b and |A∩M2| = t. Middle nodes are independent: a
+// middle node with both endpoints in A costs 0 in A and 2 in Ā, one with
+// both in Ā costs 2 in A and 0 in Ā, and a mixed one costs 1 on either
+// side; the cheapest placement fills A with both-A middles first, then
+// mixed, then both-Ā.
+func SideCost(j, k, a, b, t int) int {
+	if a < 0 || a > j || b < 0 || b > k || t < 0 || t > j*k {
+		panic("mos: side counts out of range")
+	}
+	bothA := a * b
+	bothABar := (j - a) * (k - b)
+	mixed := j*k - bothA - bothABar
+	cost := mixed
+	if t < bothA {
+		cost += 2 * (bothA - t) // both-A middles forced into Ā
+	}
+	if t > bothA+mixed {
+		cost += 2 * (t - bothA - mixed) // both-Ā middles forced into A
+	}
+	return cost
+}
+
+// Result describes an optimal M2-bisecting cut of MOS_{j,j}.
+type Result struct {
+	J        int
+	Capacity int     // BW(MOS_{j,j}, M2)
+	A, B     int     // optimal |A∩M1|, |A∩M3|
+	T        int     // optimal |A∩M2|
+	Ratio    float64 // Capacity / j²
+}
+
+// M2BisectionWidth computes BW(MOS_{j,j},M2) exactly by minimizing SideCost
+// over all (a, b) and both admissible middle counts t ∈ {⌊j²/2⌋, ⌈j²/2⌉}.
+// This is the closed-form counterpart of the paper's Lemma 2.17 argument,
+// valid for every j ≥ 1 (the paper restricts to even j to keep j²/2
+// integral; the floor/ceil handles odd j).
+func M2BisectionWidth(j int) Result {
+	if j < 1 {
+		panic("mos: j must be positive")
+	}
+	m2 := j * j
+	ts := []int{m2 / 2}
+	if m2%2 == 1 {
+		ts = append(ts, m2/2+1)
+	}
+	best := Result{J: j, Capacity: -1}
+	for a := 0; a <= j; a++ {
+		for b := 0; b <= j; b++ {
+			for _, t := range ts {
+				c := SideCost(j, j, a, b, t)
+				if best.Capacity < 0 || c < best.Capacity {
+					best = Result{J: j, Capacity: c, A: a, B: b, T: t}
+				}
+			}
+		}
+	}
+	// Costs are symmetric under complementing A, so both (a,b) and
+	// (j−a,j−b) are optimal; canonicalize as the paper does in Lemma 2.19,
+	// assuming WLOG j ≤ |A∩(M1∪M3)|.
+	if best.A+best.B < j {
+		best.A, best.B, best.T = j-best.A, j-best.B, m2-best.T
+	}
+	best.Ratio = float64(best.Capacity) / float64(m2)
+	return best
+}
+
+// M2BisectionWidthRect generalizes M2BisectionWidth to rectangular meshes
+// MOS_{j,k} (the shape Lemma 2.11 embeds into): the exact minimum capacity
+// over cuts bisecting the j·k middle nodes.
+func M2BisectionWidthRect(j, k int) (capacity, a, b, t int) {
+	if j < 1 || k < 1 {
+		panic("mos: dimensions must be positive")
+	}
+	m2 := j * k
+	ts := []int{m2 / 2}
+	if m2%2 == 1 {
+		ts = append(ts, m2/2+1)
+	}
+	capacity = -1
+	for aa := 0; aa <= j; aa++ {
+		for bb := 0; bb <= k; bb++ {
+			for _, tt := range ts {
+				c := SideCost(j, k, aa, bb, tt)
+				if capacity < 0 || c < capacity {
+					capacity, a, b, t = c, aa, bb, tt
+				}
+			}
+		}
+	}
+	return capacity, a, b, t
+}
+
+// BuildCut materializes a concrete cut of MOS_{j,j} realizing the values in
+// r: a of the M1 nodes and b of the M3 nodes go to A, and the t middle
+// nodes placed in A are chosen cheapest-first (both-A, then mixed, then
+// both-Ā). The returned cut bisects M2 and has capacity r.Capacity.
+func BuildCut(m *topology.MeshOfStars, r Result) *cut.Cut {
+	if m.J() != r.J || m.K() != r.J {
+		panic("mos: mesh does not match result")
+	}
+	side := make([]bool, m.N())
+	for a := 0; a < r.A; a++ {
+		side[m.M1Node(a)] = true
+	}
+	for b := 0; b < r.B; b++ {
+		side[m.M3Node(b)] = true
+	}
+	type mid struct {
+		v    int
+		cost int // cost of placing in A minus cost of placing in Ā
+	}
+	mids := make([]mid, 0, r.J*r.J)
+	for a := 0; a < r.J; a++ {
+		for b := 0; b < r.J; b++ {
+			v := m.M2Node(a, b)
+			inA := boolToInt(a >= r.A) + boolToInt(b >= r.B) // cut edges if v ∈ A
+			inABar := boolToInt(a < r.A) + boolToInt(b < r.B)
+			mids = append(mids, mid{v, inA - inABar})
+		}
+	}
+	// Stable three-way selection: all cost −2 (both-A) first, then 0
+	// (mixed), then +2 (both-Ā).
+	placed := 0
+	for _, want := range []int{-2, 0, 2} {
+		for _, md := range mids {
+			if placed == r.T {
+				break
+			}
+			if md.cost == want {
+				side[md.v] = true
+				placed++
+			}
+		}
+	}
+	return cut.New(m.Graph, side)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Minimizer returns the optimal fractions (x,y) = (a/j, b/j) of an exact
+// M2-bisection of MOS_{j,j}; Lemma 2.19 shows they converge to
+// (√(1/2), √(1/2)) as j → ∞.
+func Minimizer(j int) (x, y float64) {
+	r := M2BisectionWidth(j)
+	return float64(r.A) / float64(j), float64(r.B) / float64(j)
+}

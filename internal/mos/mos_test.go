@@ -1,0 +1,266 @@
+package mos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+func TestFKnownValues(t *testing.T) {
+	cases := []struct{ x, y, want float64 }{
+		{1, 1, 1},       // 1+1−min(1,2) = 1
+		{0.5, 0.5, 0.5}, // 1−min(1,0.5) = 0.5
+		{1, 0, 1},       // 1−0
+		{0.5, 1, 0.5},   // 1.5−1
+	}
+	for _, c := range cases {
+		if got := F(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("F(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+	r := math.Sqrt(0.5)
+	if got := F(r, r); math.Abs(got-Limit) > 1e-12 {
+		t.Errorf("F(√½,√½) = %g, want √2−1 = %g", got, Limit)
+	}
+}
+
+func TestLemma218Minimum(t *testing.T) {
+	// f ≥ √2−1 everywhere on the domain D (Lemma 2.18), checked on a grid
+	// and with random probes.
+	for i := 0; i <= 200; i++ {
+		for j := 0; j <= 200; j++ {
+			x := float64(i) / 200
+			y := float64(j) / 200
+			if !InDomain(x, y) {
+				continue
+			}
+			if F(x, y) < Limit-1e-12 {
+				t.Fatalf("F(%g,%g) = %g below the proven minimum", x, y, F(x, y))
+			}
+		}
+	}
+	f := func(a, b uint16) bool {
+		x := float64(a) / 65535
+		y := float64(b) / 65535
+		if !InDomain(x, y) {
+			return true
+		}
+		return F(x, y) >= Limit-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideCostAgainstBruteForceMiddles(t *testing.T) {
+	// For fixed (a,b,t), SideCost must equal the true optimum over all
+	// placements of t middles; verified by enumerating middle subsets.
+	for _, jk := range [][2]int{{2, 2}, {2, 3}, {3, 3}} {
+		j, k := jk[0], jk[1]
+		m := topology.NewMeshOfStars(j, k)
+		mids := m.M2Nodes()
+		for a := 0; a <= j; a++ {
+			for b := 0; b <= k; b++ {
+				for t0 := 0; t0 <= j*k; t0++ {
+					want := 1 << 30
+					for mask := 0; mask < 1<<len(mids); mask++ {
+						if popcount(mask) != t0 {
+							continue
+						}
+						side := make([]bool, m.N())
+						for aa := 0; aa < a; aa++ {
+							side[m.M1Node(aa)] = true
+						}
+						for bb := 0; bb < b; bb++ {
+							side[m.M3Node(bb)] = true
+						}
+						for i, v := range mids {
+							if mask>>i&1 == 1 {
+								side[v] = true
+							}
+						}
+						if c := cut.New(m.Graph, side).Capacity(); c < want {
+							want = c
+						}
+					}
+					if got := SideCost(j, k, a, b, t0); got != want {
+						t.Fatalf("SideCost(%d,%d,%d,%d,%d) = %d, brute force %d",
+							j, k, a, b, t0, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestM2BisectionWidthSmall(t *testing.T) {
+	// j=1: one middle node, bisection puts it alone on one side; both its
+	// edges may avoid the cut only if M1 and M3 join it... M2 = {single
+	// node}, |A∩M2| must be 0 or 1 with difference ≤1 — any split works,
+	// cheapest is everything on one side: capacity 0.
+	if got := M2BisectionWidth(1).Capacity; got != 0 {
+		t.Errorf("BW(MOS1,1,M2) = %d, want 0", got)
+	}
+	// j=2 (computed by hand from the cost formula): 2.
+	if got := M2BisectionWidth(2).Capacity; got != 2 {
+		t.Errorf("BW(MOS2,2,M2) = %d, want 2", got)
+	}
+}
+
+func TestM2BisectionWidthAgainstFullEnumeration(t *testing.T) {
+	// Enumerate every cut (all side assignments of M1 and M3, all middle
+	// subsets that bisect M2) for j = 2 and 3.
+	for _, j := range []int{2, 3} {
+		m := topology.NewMeshOfStars(j, j)
+		mids := m.M2Nodes()
+		m2 := j * j
+		want := 1 << 30
+		for aMask := 0; aMask < 1<<j; aMask++ {
+			for bMask := 0; bMask < 1<<j; bMask++ {
+				for mMask := 0; mMask < 1<<m2; mMask++ {
+					tc := popcount(mMask)
+					if d := 2*tc - m2; d < -1 || d > 1 {
+						continue
+					}
+					side := make([]bool, m.N())
+					for a := 0; a < j; a++ {
+						side[m.M1Node(a)] = aMask>>a&1 == 1
+					}
+					for b := 0; b < j; b++ {
+						side[m.M3Node(b)] = bMask>>b&1 == 1
+					}
+					for i, v := range mids {
+						side[v] = mMask>>i&1 == 1
+					}
+					if c := cut.New(m.Graph, side).Capacity(); c < want {
+						want = c
+					}
+				}
+			}
+		}
+		if got := M2BisectionWidth(j).Capacity; got != want {
+			t.Errorf("BW(MOS%d,%d,M2) = %d, enumeration gives %d", j, j, got, want)
+		}
+	}
+}
+
+func TestLemma219Convergence(t *testing.T) {
+	// √2−1 < BW(MOS_{j,j},M2)/j² (strict), decreasing toward the limit.
+	prevRatio := math.Inf(1)
+	for _, j := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		r := M2BisectionWidth(j)
+		if r.Ratio <= Limit {
+			t.Errorf("j=%d: ratio %g not strictly above √2−1", j, r.Ratio)
+		}
+		if r.Ratio > prevRatio+1e-12 {
+			t.Errorf("j=%d: ratio %g increased from %g", j, r.Ratio, prevRatio)
+		}
+		prevRatio = r.Ratio
+	}
+	if final := M2BisectionWidth(1024).Ratio; final > Limit+0.002 {
+		t.Errorf("ratio at j=1024 is %g, not within 0.002 of √2−1 = %g", final, Limit)
+	}
+}
+
+func TestMinimizerConvergesToSqrtHalf(t *testing.T) {
+	x, y := Minimizer(512)
+	r := math.Sqrt(0.5)
+	if math.Abs(x-r) > 0.01 || math.Abs(y-r) > 0.01 {
+		t.Errorf("minimizer (%g,%g), want ≈ (√½,√½) = (%g,%g)", x, y, r, r)
+	}
+}
+
+func TestBuildCutRealizesCapacity(t *testing.T) {
+	for _, j := range []int{2, 3, 4, 6, 8, 12} {
+		r := M2BisectionWidth(j)
+		m := topology.NewMeshOfStars(j, j)
+		c := BuildCut(m, r)
+		if got := c.Capacity(); got != r.Capacity {
+			t.Errorf("j=%d: built cut capacity %d, want %d", j, got, r.Capacity)
+		}
+		if !c.BisectsSubset(m.M2Nodes()) {
+			t.Errorf("j=%d: built cut does not bisect M2", j)
+		}
+		if c.CountIn([]int{m.M1Node(0)}) == 1 != (r.A > 0) {
+			t.Errorf("j=%d: M1 side counts inconsistent", j)
+		}
+	}
+}
+
+func TestSideCostSymmetry(t *testing.T) {
+	// Complementing (a,b,t) preserves the cost: C(A,Ā) = C(Ā,A).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		j := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		a := rng.Intn(j + 1)
+		b := rng.Intn(k + 1)
+		tc := rng.Intn(j*k + 1)
+		if SideCost(j, k, a, b, tc) != SideCost(j, k, j-a, k-b, j*k-tc) {
+			t.Fatalf("cost not symmetric at j=%d k=%d a=%d b=%d t=%d", j, k, a, b, tc)
+		}
+	}
+}
+
+func TestM2BisectionWidthRect(t *testing.T) {
+	// The square case must agree with M2BisectionWidth.
+	for _, j := range []int{2, 3, 4, 8} {
+		c, _, _, _ := M2BisectionWidthRect(j, j)
+		if want := M2BisectionWidth(j).Capacity; c != want {
+			t.Errorf("rect(%d,%d) = %d, square %d", j, j, c, want)
+		}
+	}
+	// Rectangular cross-check against full enumeration for MOS_{2,3}.
+	m := topology.NewMeshOfStars(2, 3)
+	mids := m.M2Nodes()
+	want := 1 << 30
+	for aMask := 0; aMask < 4; aMask++ {
+		for bMask := 0; bMask < 8; bMask++ {
+			for mMask := 0; mMask < 1<<6; mMask++ {
+				tc := popcount(mMask)
+				if d := 2*tc - 6; d < -1 || d > 1 {
+					continue
+				}
+				side := make([]bool, m.N())
+				for a := 0; a < 2; a++ {
+					side[m.M1Node(a)] = aMask>>a&1 == 1
+				}
+				for b := 0; b < 3; b++ {
+					side[m.M3Node(b)] = bMask>>b&1 == 1
+				}
+				for i, v := range mids {
+					side[v] = mMask>>i&1 == 1
+				}
+				if c := cut.New(m.Graph, side).Capacity(); c < want {
+					want = c
+				}
+			}
+		}
+	}
+	c, _, _, _ := M2BisectionWidthRect(2, 3)
+	if c != want {
+		t.Errorf("rect(2,3) = %d, enumeration %d", c, want)
+	}
+}
+
+func TestSideCostValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range SideCost did not panic")
+		}
+	}()
+	SideCost(2, 2, 3, 0, 0)
+}

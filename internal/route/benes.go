@@ -1,0 +1,145 @@
+// Package route implements the routing substrate the paper leans on: the
+// unique monotone (bit-fixing) paths of Bn (Lemma 2.3), the looping
+// algorithm that routes any permutation through a Beneš network along
+// edge-disjoint paths (the rearrangeability underlying Lemma 2.5), and a
+// synchronous store-and-forward simulator for the §1.2 relation between
+// routing time and bisection width.
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// RoutePermutation routes the permutation perm (inputs to outputs, as column
+// indices) through the Beneš network along pairwise edge-disjoint paths,
+// using the classical looping algorithm. It returns one node path per
+// input, from level 0 to level 2·log n.
+func RoutePermutation(be *topology.Benes, perm []int) ([][]int, error) {
+	n := be.Inputs()
+	if err := checkPermutation(perm, n); err != nil {
+		return nil, err
+	}
+	colSeqs := routeColumns(n, perm)
+	paths := make([][]int, n)
+	for w, cols := range colSeqs {
+		path := make([]int, len(cols))
+		for l, c := range cols {
+			path[l] = be.Node(c, l)
+		}
+		paths[w] = path
+	}
+	return paths, nil
+}
+
+func checkPermutation(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("route: permutation has %d entries for %d inputs", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("route: not a permutation of 0..%d", n-1)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// routeColumns returns, for each input x of an m-column Beneš network, the
+// sequence of columns its path occupies on levels 0..2·log m.
+func routeColumns(m int, pi []int) [][]int {
+	if m == 1 {
+		return [][]int{{0}}
+	}
+	if m == 2 {
+		if pi[0] == 0 {
+			return [][]int{{0, 0, 0}, {1, 1, 1}}
+		}
+		// Swap: cross on the first layer, straight on the second.
+		return [][]int{{0, 1, 1}, {1, 0, 0}}
+	}
+
+	half := m / 2
+	// Loop coloring: c[x] is the subnetwork (0 = upper, 1 = lower) carrying
+	// input x. Two "must differ" constraints pair the inputs: x with x⊕half
+	// (they share first-layer switches) and inv[y] with inv[y⊕half] for
+	// every output y (they share last-layer switches). Each constraint set
+	// is a perfect matching, so their union is a disjoint set of even
+	// cycles — the "loops" — and alternating colors along them always
+	// succeeds.
+	c := make([]int8, m)
+	for i := range c {
+		c[i] = -1
+	}
+	inv := make([]int, m)
+	for x, y := range pi {
+		inv[y] = x
+	}
+	type frame struct {
+		x   int
+		col int8
+	}
+	var stack []frame
+	for start := 0; start < m; start++ {
+		if c[start] >= 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{start, 0})
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c[f.x] >= 0 {
+				continue
+			}
+			c[f.x] = f.col
+			stack = append(stack,
+				frame{f.x ^ half, 1 - f.col},
+				frame{inv[pi[f.x]^half], 1 - f.col})
+		}
+	}
+
+	// Build the two sub-permutations and recurse.
+	subPi := [2][]int{make([]int, half), make([]int, half)}
+	for x, y := range pi {
+		subPi[c[x]][x&(half-1)] = y & (half - 1)
+	}
+	subPaths := [2][][]int{routeColumns(half, subPi[0]), routeColumns(half, subPi[1])}
+
+	out := make([][]int, m)
+	for x, y := range pi {
+		color := int(c[x])
+		sub := subPaths[color][x&(half-1)]
+		cols := make([]int, 0, len(sub)+2)
+		cols = append(cols, x)
+		for _, sc := range sub {
+			cols = append(cols, color*half+sc)
+		}
+		cols = append(cols, y)
+		out[x] = cols
+	}
+	return out
+}
+
+// VerifyEdgeDisjoint reports whether the given node paths use every edge of
+// g at most once (in either direction), returning the first reused edge
+// pair if not.
+func VerifyEdgeDisjoint(g *graph.Graph, paths [][]int) (ok bool, reused [2]int) {
+	used := make(map[[2]int]bool)
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			u, v := p[i], p[i+1]
+			if u > v {
+				u, v = v, u
+			}
+			key := [2]int{u, v}
+			if used[key] {
+				return false, key
+			}
+			used[key] = true
+		}
+	}
+	return true, [2]int{}
+}

@@ -1,0 +1,25 @@
+package route_test
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+func ExampleRoutePermutation() {
+	// Rearrangeability: the bit-reversal permutation routes edge-disjointly
+	// through an 8-input Beneš network.
+	be := topology.NewBenes(8)
+	perm := []int{0, 4, 2, 6, 1, 5, 3, 7} // 3-bit reversal
+	paths, err := route.RoutePermutation(be, perm)
+	if err != nil {
+		panic(err)
+	}
+	disjoint, _ := route.VerifyEdgeDisjoint(be.Graph, paths)
+	fmt.Println("paths:", len(paths))
+	fmt.Println("edge-disjoint:", disjoint)
+	// Output:
+	// paths: 8
+	// edge-disjoint: true
+}

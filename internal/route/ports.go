@@ -1,0 +1,174 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// RoutePortPermutation routes a permutation of 2n ports through the n-input
+// Beneš network along pairwise edge-disjoint paths: input node c carries
+// input ports 2c and 2c+1, output node c carries output ports 2c and 2c+1,
+// and perm[p] is the output port reached from input port p. This is the
+// full rearrangeability statement behind Lemma 2.5 (each level-0 node of
+// the Beneš terminates two paths, one per incident first-layer edge).
+func RoutePortPermutation(be *topology.Benes, perm []int) ([][]int, error) {
+	n := be.Inputs()
+	if err := checkPermutation(perm, 2*n); err != nil {
+		return nil, err
+	}
+	colSeqs := routePortColumns(n, perm)
+	paths := make([][]int, 2*n)
+	for p, cols := range colSeqs {
+		path := make([]int, len(cols))
+		for l, c := range cols {
+			path[l] = be.Node(c, l)
+		}
+		paths[p] = path
+	}
+	return paths, nil
+}
+
+// routePortColumns returns, per port, the column occupied on each level
+// 0..2·log m of an m-column Beneš network.
+func routePortColumns(m int, pi []int) [][]int {
+	if m == 1 {
+		// A single node; both port paths sit on it.
+		return [][]int{{0}, {0}}
+	}
+	half := m / 2
+
+	// Color ports by subnetwork. Constraints ("must differ"): the two
+	// ports of an input node, and the two ports of an output node.
+	c := make([]int8, 2*m)
+	for i := range c {
+		c[i] = -1
+	}
+	inv := make([]int, 2*m)
+	for p, q := range pi {
+		inv[q] = p
+	}
+	type frame struct {
+		p   int
+		col int8
+	}
+	var stack []frame
+	for start := 0; start < 2*m; start++ {
+		if c[start] >= 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{start, 0})
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c[f.p] >= 0 {
+				continue
+			}
+			c[f.p] = f.col
+			stack = append(stack,
+				frame{f.p ^ 1, 1 - f.col},        // input-node partner
+				frame{inv[pi[f.p]^1], 1 - f.col}) // output-node partner
+		}
+	}
+
+	// Build the sub-permutations. The path of port p (input node a) enters
+	// subnetwork s at sub-column a mod half; two paths share that
+	// sub-column (from input nodes low and low+half), distinguished by the
+	// top bit of a. Outputs symmetric.
+	subPi := [2][]int{make([]int, 2*half), make([]int, 2*half)}
+	for p, q := range pi {
+		s := c[p]
+		a := p / 2
+		b := q / 2
+		subIn := 2*(a%half) + a/half
+		subOut := 2*(b%half) + b/half
+		subPi[s][subIn] = subOut
+	}
+	subPaths := [2][][]int{routePortColumns(half, subPi[0]), routePortColumns(half, subPi[1])}
+
+	out := make([][]int, 2*m)
+	for p, q := range pi {
+		s := int(c[p])
+		a := p / 2
+		b := q / 2
+		sub := subPaths[s][2*(a%half)+a/half]
+		cols := make([]int, 0, len(sub)+2)
+		cols = append(cols, a)
+		for _, sc := range sub {
+			cols = append(cols, s*half+sc)
+		}
+		cols = append(cols, b)
+		out[p] = cols
+	}
+	return out
+}
+
+// ButterflyPortPaths realizes Lemma 2.5 literally: given the (I,O)
+// partition of L0 induced by the Beneš embedding (package embed) and a
+// bijection perm of the n input ports (two per I node) onto the n output
+// ports (two per O node), it returns n pairwise edge-disjoint paths in Bn
+// linking each input port's node to its output port's node.
+func ButterflyPortPaths(b *topology.Butterfly, perm []int) ([][]int, error) {
+	if b.Wraparound() {
+		panic("route: ButterflyPortPaths targets Bn")
+	}
+	n := b.Inputs()
+	if n < 4 {
+		return nil, fmt.Errorf("route: port routing needs n ≥ 4")
+	}
+	if err := checkPermutation(perm, n); err != nil {
+		return nil, err
+	}
+	be := topology.NewBenes(n / 2)
+	benesPaths, err := RoutePortPermutation(be, perm)
+	if err != nil {
+		return nil, err
+	}
+	emb := embed.BenesIntoButterfly(b)
+	// Translate each Beneš path through the embedding: consecutive guest
+	// nodes become the host path of the guest edge between them. Because
+	// the embedding has congestion 1, edge-disjointness is preserved.
+	edgeIdx := guestEdgeIndex(emb.Guest)
+	paths := make([][]int, len(benesPaths))
+	for p, gp := range benesPaths {
+		host := []int{emb.NodeMap[gp[0]]}
+		for i := 0; i+1 < len(gp); i++ {
+			ei, ok := edgeIdx[edgeKeyPair(gp[i], gp[i+1])]
+			if !ok {
+				return nil, fmt.Errorf("route: Beneš path uses a non-edge")
+			}
+			seg := emb.Paths[ei]
+			if seg[0] != host[len(host)-1] {
+				seg = reversedInts(seg)
+			}
+			host = append(host, seg[1:]...)
+		}
+		paths[p] = host
+	}
+	return paths, nil
+}
+
+func edgeKeyPair(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+func guestEdgeIndex(g *graph.Graph) map[[2]int32]int {
+	idx := make(map[[2]int32]int, g.M())
+	for ei, e := range g.Edges() {
+		idx[[2]int32{e.U, e.V}] = ei
+	}
+	return idx
+}
+
+func reversedInts(p []int) []int {
+	out := make([]int, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/topology"
+)
+
+func checkPortPaths(t *testing.T, be *topology.Benes, perm []int, paths [][]int) {
+	t.Helper()
+	n := be.Inputs()
+	if len(paths) != 2*n {
+		t.Fatalf("%d paths for %d ports", len(paths), 2*n)
+	}
+	for p, path := range paths {
+		if len(path) != be.Levels() {
+			t.Fatalf("port %d: path length %d, want %d", p, len(path), be.Levels())
+		}
+		if path[0] != be.Node(p/2, 0) {
+			t.Fatalf("port %d starts at the wrong input node", p)
+		}
+		if path[len(path)-1] != be.Node(perm[p]/2, 2*be.Dim()) {
+			t.Fatalf("port %d ends at the wrong output node", p)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !be.HasEdge(path[i], path[i+1]) {
+				t.Fatalf("port %d hop %d is not an edge", p, i)
+			}
+		}
+	}
+	if ok, reused := VerifyEdgeDisjoint(be.Graph, paths); !ok {
+		t.Fatalf("port paths reuse edge %v", reused)
+	}
+}
+
+func TestRoutePortPermutationAllPermsTiny(t *testing.T) {
+	// Full rearrangeability at the port level: all 24 permutations of the
+	// 4 ports of a 2-input Beneš.
+	be := topology.NewBenes(2)
+	for _, perm := range allPermutations(4) {
+		paths, err := RoutePortPermutation(be, perm)
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		checkPortPaths(t, be, perm, paths)
+	}
+}
+
+func TestRoutePortPermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 << (1 + rng.Intn(5)) // 2..32
+		be := topology.NewBenes(n)
+		perm := rng.Perm(2 * n)
+		paths, err := RoutePortPermutation(be, perm)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkPortPaths(t, be, perm, paths)
+	}
+}
+
+func TestRoutePortPermutationRejectsBad(t *testing.T) {
+	be := topology.NewBenes(4)
+	if _, err := RoutePortPermutation(be, []int{0, 1, 2}); err == nil {
+		t.Errorf("short port permutation accepted")
+	}
+}
+
+func TestButterflyPortPathsLemma25(t *testing.T) {
+	// The literal Lemma 2.5: n edge-disjoint paths in Bn realizing any
+	// bijection of the n input ports onto the n output ports, with I and O
+	// the embedding's partition of L0.
+	rng := rand.New(rand.NewSource(66))
+	for _, n := range []int{4, 8, 16, 32} {
+		b := topology.NewButterfly(n)
+		ins, outs := embed.BenesIOPartition(b)
+		for trial := 0; trial < 10; trial++ {
+			perm := rng.Perm(n)
+			paths, err := ButterflyPortPaths(b, perm)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if len(paths) != n {
+				t.Fatalf("n=%d: %d paths", n, len(paths))
+			}
+			for p, path := range paths {
+				if path[0] != ins[p/2] {
+					t.Fatalf("n=%d: port %d starts at %d, want I node %d", n, p, path[0], ins[p/2])
+				}
+				if path[len(path)-1] != outs[perm[p]/2] {
+					t.Fatalf("n=%d: port %d ends at the wrong O node", n, p)
+				}
+				for i := 0; i+1 < len(path); i++ {
+					if !b.HasEdge(path[i], path[i+1]) {
+						t.Fatalf("n=%d: port %d hop %d not an edge", n, p, i)
+					}
+				}
+			}
+			if ok, reused := VerifyEdgeDisjoint(b.Graph, paths); !ok {
+				t.Fatalf("n=%d: butterfly port paths reuse edge %v", n, reused)
+			}
+		}
+	}
+}
+
+func TestButterflyPortPathsValidation(t *testing.T) {
+	b := topology.NewButterfly(8)
+	if _, err := ButterflyPortPaths(b, []int{0, 1, 2}); err == nil {
+		t.Errorf("short permutation accepted")
+	}
+	small := topology.NewButterfly(2)
+	if _, err := ButterflyPortPaths(small, []int{0, 1}); err == nil {
+		t.Errorf("n=2 should be rejected")
+	}
+}

@@ -1,0 +1,204 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// SimResult summarizes one synchronous store-and-forward routing run.
+type SimResult struct {
+	// Packets is the number of packets routed (one per network node).
+	Packets int
+	// Steps is the simulated completion time: each directed edge forwards
+	// at most one packet per step.
+	Steps int
+	// CutCrossings counts packets whose route crosses the reference cut —
+	// the quantity whose expectation is N/4 per direction in §1.2.
+	CutCrossings int
+	// CongestionBound is ⌈CutCrossings / cut capacity⌉, a certified lower
+	// bound on Steps for these routes: every crossing packet consumes one
+	// cut-edge slot per step.
+	CongestionBound int
+	// MaxQueue is the largest per-edge queue observed.
+	MaxQueue int
+}
+
+// SimulateRandomDestinations routes one packet from every node of Bn to an
+// independently chosen uniform random node, along three-leg up/across/down
+// routes, under synchronous store-and-forward switching (one packet per
+// directed edge per step, FIFO queues). The reference cut supplies the
+// §1.2 accounting: the routing time is at least CutCrossings / C(S,S̄).
+func SimulateRandomDestinations(b *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+	if b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := b.N()
+	paths := make([][]int, 0, n)
+	for v := 0; v < n; v++ {
+		dst := rng.Intn(n)
+		if dst == v {
+			continue // a self-message uses no edges
+		}
+		paths = append(paths, threeLegPath(b, v, dst))
+	}
+	return simulate(b, ref, paths)
+}
+
+// SimulateRandomDestinationsWrapped is the Wn analogue of
+// SimulateRandomDestinations: routes follow the Theorem 4.3 three-leg shape
+// (up the source column to level 0, the rotated monotone path into the
+// destination column, then down to the destination).
+func SimulateRandomDestinationsWrapped(w *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+	if !w.Wraparound() {
+		panic("route: wrapped simulator targets Wn")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := w.N()
+	d := w.Dim()
+	paths := make([][]int, 0, n)
+	for v := 0; v < n; v++ {
+		dst := rng.Intn(n)
+		if dst == v {
+			continue
+		}
+		wu, iu := w.Column(v), w.Level(v)
+		wv, iv := w.Column(dst), w.Level(dst)
+		path := make([]int, 0, iu+d+(d-iv)+1)
+		for l := iu; l >= 0; l-- {
+			path = append(path, w.Node(wu, l))
+		}
+		mono := w.RotatedMonotonePath(wu, wv, 0)
+		path = append(path, mono[1:]...)
+		for l := d - 1; l >= iv; l-- {
+			path = append(path, w.Node(wv, l))
+		}
+		paths = append(paths, compressPath(path))
+	}
+	return simulate(w, ref, paths)
+}
+
+// compressPath removes consecutive duplicate nodes (legs of length 0).
+func compressPath(p []int) []int {
+	out := p[:1]
+	for _, v := range p[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SimulatePermutation routes one packet from every input of Bn to output
+// perm[input] along the monotone paths of Lemma 2.3.
+func SimulatePermutation(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimResult, error) {
+	if b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	if err := checkPermutation(perm, b.Inputs()); err != nil {
+		return SimResult{}, err
+	}
+	paths := make([][]int, b.Inputs())
+	for w := range paths {
+		paths[w] = b.MonotonePath(w, perm[w])
+	}
+	return simulate(b, ref, paths), nil
+}
+
+// threeLegPath routes from u up its column to level 0, across the monotone
+// path, and up the destination column from level log n to the destination.
+func threeLegPath(b *topology.Butterfly, u, v int) []int {
+	wu, iu := b.Column(u), b.Level(u)
+	wv, iv := b.Column(v), b.Level(v)
+	path := make([]int, 0, iu+b.Dim()+(b.Dim()-iv)+1)
+	for l := iu; l >= 0; l-- {
+		path = append(path, b.Node(wu, l))
+	}
+	mono := b.MonotonePath(wu, wv)
+	path = append(path, mono[1:]...)
+	for l := b.Dim() - 1; l >= iv; l-- {
+		path = append(path, b.Node(wv, l))
+	}
+	return path
+}
+
+// simulate runs the synchronous switch model until every packet arrives.
+func simulate(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
+	res := SimResult{Packets: len(paths)}
+	if ref != nil {
+		for _, p := range paths {
+			for i := 0; i+1 < len(p); i++ {
+				if ref.InS(p[i]) != ref.InS(p[i+1]) {
+					res.CutCrossings++
+					break
+				}
+			}
+		}
+		if cap := ref.Capacity(); cap > 0 {
+			res.CongestionBound = (res.CutCrossings + cap - 1) / cap
+		}
+	}
+
+	// Directed edge id: node-pair key. Queues hold packet indices.
+	type dedge struct{ u, v int32 }
+	queues := make(map[dedge][]int32)
+	pos := make([]int, len(paths)) // index into each path
+	remaining := 0
+	enqueue := func(pk int) {
+		p := paths[pk]
+		i := pos[pk]
+		if i+1 < len(p) {
+			key := dedge{int32(p[i]), int32(p[i+1])}
+			queues[key] = append(queues[key], int32(pk))
+			remaining++
+		}
+	}
+	for pk := range paths {
+		enqueue(pk)
+	}
+
+	for step := 0; remaining > 0; {
+		step++
+		res.Steps = step
+		if step > 64*b.N() {
+			panic(fmt.Sprintf("route: simulation did not converge after %d steps", step))
+		}
+		type move struct {
+			pk  int32
+			key dedge
+		}
+		var moves []move
+		for key, q := range queues {
+			if len(q) == 0 {
+				continue
+			}
+			if len(q) > res.MaxQueue {
+				res.MaxQueue = len(q)
+			}
+			moves = append(moves, move{q[0], key})
+		}
+		// Maps iterate in random order; apply moves in a fixed order so
+		// downstream FIFO queues fill deterministically.
+		sort.Slice(moves, func(i, j int) bool {
+			if moves[i].key.u != moves[j].key.u {
+				return moves[i].key.u < moves[j].key.u
+			}
+			return moves[i].key.v < moves[j].key.v
+		})
+		for _, mv := range moves {
+			q := queues[mv.key]
+			queues[mv.key] = q[1:]
+			if len(q) == 1 {
+				delete(queues, mv.key)
+			}
+			remaining--
+			pos[mv.pk]++
+			enqueue(int(mv.pk))
+		}
+	}
+	return res
+}

@@ -1,0 +1,90 @@
+// Package tablefmt renders fixed-width text tables for the experiment
+// harness, matching the row/series style of the paper's §4.3 summaries.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows under a header and renders with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	line := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		line[i] = pad(h, widths[i])
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(line, "  "))
+	for i := range line {
+		line[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(line, "  "))
+	for _, row := range t.rows {
+		for i := range line {
+			if i < len(row) {
+				line[i] = pad(row[i], widths[i])
+			} else {
+				line[i] = pad("", widths[i])
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(line, "  "))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}

@@ -1,0 +1,57 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Title", "net", "value")
+	tb.AddRow("B8", 8)
+	tb.AddRow("W16", 16)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "net") || !strings.Contains(out, "value") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "B8") || !strings.Contains(out, "16") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(0.82842712)
+	if !strings.Contains(tb.String(), "0.8284") {
+		t.Errorf("float not rendered to 4 places:\n%s", tb.String())
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("short", 1)
+	tb.AddRow("muchlongervalue", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The "b" column must start at the same offset on every row.
+	idx := strings.Index(lines[0], "b")
+	for _, ln := range lines[2:] {
+		cell := strings.TrimSpace(ln[idx : idx+1])
+		if cell != "1" && cell != "2" {
+			t.Errorf("misaligned column in %q", ln)
+		}
+	}
+}
+
+func TestShortRow(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Errorf("short row dropped")
+	}
+}

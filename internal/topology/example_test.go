@@ -1,0 +1,32 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+func ExampleNewButterfly() {
+	// The 32-node butterfly of the paper's Figure 1.
+	b := topology.NewButterfly(8)
+	fmt.Println("nodes:", b.N())
+	fmt.Println("edges:", b.M())
+	fmt.Println("levels:", b.Levels())
+	fmt.Println("diameter:", b.Diameter())
+	// Output:
+	// nodes: 32
+	// edges: 48
+	// levels: 4
+	// diameter: 6
+}
+
+func ExampleButterfly_MonotonePath() {
+	// Lemma 2.3: the unique monotone path from input 0b000 to output 0b101.
+	b := topology.NewButterfly(8)
+	for _, v := range b.MonotonePath(0b000, 0b101) {
+		fmt.Printf("<%03b,%d> ", b.Column(v), b.Level(v))
+	}
+	fmt.Println()
+	// Output:
+	// <000,0> <100,1> <100,2> <101,3>
+}

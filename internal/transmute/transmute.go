@@ -1,0 +1,187 @@
+// Package transmute implements the cut surgery in the proof of Lemma 3.2
+// (BW(Wn) = n) as an executable pipeline: given any bisection of Wn, it
+//
+//  1. finds a split level i such that either exactly n/2 of level i is in
+//     S, or level i has an S-majority while level i+1 has an S̄-majority
+//     (such a level always exists for a bisection — the paper's pigeonhole);
+//  2. rotates the cut by the Wn level automorphism so the split level
+//     becomes level 0;
+//  3. transmutes Wn into Bn "in the standard fashion": each level-0 node
+//     splits into a level-0 node (keeping its level-1 edges) and a new
+//     level-(log n) node (keeping its level-(log n −1) edges), both
+//     inheriting the node's side — the cut edges are preserved exactly;
+//  4. rebalances level 0 of the Bn cut by repeatedly moving a majority-side
+//     level-0 node that has a minority-side neighbor on level 1 (such moves
+//     never increase capacity, and such a node always exists while level 0
+//     is unbalanced, because any k level-0 nodes have at least k level-1
+//     neighbors).
+//
+// The result is a cut of Bn that bisects the inputs without exceeding the
+// original capacity, at which point Lemma 3.1 applies: capacity ≥ n.
+// Running this pipeline on exact minimum bisections of Wn is a computed
+// proof of BW(Wn) ≥ n on those instances.
+package transmute
+
+import (
+	"fmt"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// FindSplitLevel returns a level i of Wn such that the side assignment has
+// either exactly n/2 S-nodes on level i, or more than n/2 on level i and
+// more than n/2 S̄-nodes on level (i+1) mod log n. For a bisection of Wn
+// one always exists; ok is false otherwise.
+func FindSplitLevel(w *topology.Butterfly, side []bool) (level int, ok bool) {
+	if !w.Wraparound() {
+		panic("transmute: split level is a Wn notion")
+	}
+	n := w.Inputs()
+	d := w.Dim()
+	counts := make([]int, d)
+	for v := 0; v < w.N(); v++ {
+		if side[v] {
+			counts[w.Level(v)]++
+		}
+	}
+	for i := 0; i < d; i++ {
+		if counts[i] == n/2 {
+			return i, true
+		}
+	}
+	for i := 0; i < d; i++ {
+		if counts[i] > n/2 && counts[(i+1)%d] < n/2 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RotateCut returns the side assignment transported by r applications of
+// the Wn level-rotation automorphism, so that what was level r becomes
+// level 0 when r is the split level... precisely: the returned side²
+// satisfies side²[σ^r(v)] = side[v] with σ the rotation sending level i to
+// i+1; choosing r = log n − i moves level i to level 0.
+func RotateCut(w *topology.Butterfly, side []bool, r int) []bool {
+	perm := w.LevelRotationAutomorphism()
+	cur := append([]bool(nil), side...)
+	for step := 0; step < r; step++ {
+		next := make([]bool, len(cur))
+		for v, s := range cur {
+			next[perm[v]] = s
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SplitToButterfly transmutes a Wn side assignment into a Bn side
+// assignment by splitting level 0: the Bn node ⟨w,i⟩ inherits the side of
+// the Wn node ⟨w,i mod log n⟩. The Bn cut has exactly the same capacity as
+// the Wn cut, because the edge sets correspond bijectively.
+func SplitToButterfly(w *topology.Butterfly, side []bool) (*topology.Butterfly, []bool) {
+	if !w.Wraparound() {
+		panic("transmute: split expects Wn")
+	}
+	b := topology.NewButterfly(w.Inputs())
+	bSide := make([]bool, b.N())
+	for v := 0; v < b.N(); v++ {
+		bSide[v] = side[w.Node(b.Column(v), b.Level(v)%w.Dim())]
+	}
+	return b, bSide
+}
+
+// RebalanceInputs performs the proof's final step on a Bn side assignment:
+// while level 0 is unbalanced, it moves a majority-side level-0 node with a
+// minority-side level-1 neighbor across, which never increases capacity.
+// It returns the number of moves, or an error if no eligible node exists
+// while unbalanced (which would contradict the expansion argument in the
+// proof).
+func RebalanceInputs(b *topology.Butterfly, side []bool) (moves int, err error) {
+	n := b.Inputs()
+	count := func() int {
+		c := 0
+		for _, v := range b.InputNodes() {
+			if side[v] {
+				c++
+			}
+		}
+		return c
+	}
+	for {
+		c := count()
+		if c == n/2 {
+			return moves, nil
+		}
+		majority := c > n/2 // move nodes out of S if S has the majority
+		moved := false
+		for _, v := range b.InputNodes() {
+			if side[v] != majority {
+				continue
+			}
+			// Look for a level-1 neighbor on the other side.
+			hasOpposite := false
+			for _, u := range b.Neighbors(v) {
+				if side[u] != majority {
+					hasOpposite = true
+					break
+				}
+			}
+			if !hasOpposite {
+				continue
+			}
+			before := cut.New(b.Graph, side).Capacity()
+			side[v] = !side[v]
+			after := cut.New(b.Graph, side).Capacity()
+			if after > before {
+				// The proof only guarantees non-increase for nodes with an
+				// opposite-side neighbor; this move had one, so this
+				// cannot happen — but keep the check honest.
+				side[v] = !side[v]
+				continue
+			}
+			moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return moves, fmt.Errorf("transmute: no capacity-safe move while level 0 is unbalanced (%d of %d)", c, n)
+		}
+	}
+}
+
+// Result records one run of the full Lemma 3.2 pipeline.
+type Result struct {
+	SplitLevel    int
+	WnCapacity    int
+	BnCapacity    int // after transmutation (must equal WnCapacity)
+	FinalCapacity int // after rebalancing (must be ≤ WnCapacity)
+	Moves         int
+	InputBisected bool
+}
+
+// Run executes the whole pipeline on a bisection of Wn.
+func Run(w *topology.Butterfly, side []bool) (Result, error) {
+	var res Result
+	res.WnCapacity = cut.New(w.Graph, append([]bool(nil), side...)).Capacity()
+
+	lvl, ok := FindSplitLevel(w, side)
+	if !ok {
+		return res, fmt.Errorf("transmute: no split level (cut is not a bisection?)")
+	}
+	res.SplitLevel = lvl
+	rotated := RotateCut(w, side, (w.Dim()-lvl)%w.Dim())
+
+	b, bSide := SplitToButterfly(w, rotated)
+	res.BnCapacity = cut.New(b.Graph, append([]bool(nil), bSide...)).Capacity()
+
+	moves, err := RebalanceInputs(b, bSide)
+	if err != nil {
+		return res, err
+	}
+	res.Moves = moves
+	res.FinalCapacity = cut.New(b.Graph, bSide).Capacity()
+	res.InputBisected = cut.New(b.Graph, bSide).BisectsSubset(b.InputNodes())
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package transmute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/exact"
+	"repro/internal/topology"
+)
+
+// randomBisection returns a random exact bisection of g-sized networks.
+func randomBisection(n int, rng *rand.Rand) []bool {
+	side := make([]bool, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n/2; i++ {
+		side[perm[i]] = true
+	}
+	return side
+}
+
+func TestFindSplitLevelExistsForBisections(t *testing.T) {
+	// The paper's pigeonhole: every bisection of Wn has a split level.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16} {
+		w := topology.NewWrappedButterfly(n)
+		for trial := 0; trial < 50; trial++ {
+			side := randomBisection(w.N(), rng)
+			lvl, ok := FindSplitLevel(w, side)
+			if !ok {
+				t.Fatalf("W%d: no split level for a bisection", n)
+			}
+			// Validate the property claimed.
+			counts := make([]int, w.Dim())
+			for v := 0; v < w.N(); v++ {
+				if side[v] {
+					counts[w.Level(v)]++
+				}
+			}
+			if counts[lvl] != n/2 &&
+				!(counts[lvl] > n/2 && counts[(lvl+1)%w.Dim()] < n/2) {
+				t.Fatalf("W%d: level %d does not satisfy the split property", n, lvl)
+			}
+		}
+	}
+}
+
+func TestRotateCutPreservesCapacity(t *testing.T) {
+	w := topology.NewWrappedButterfly(8)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		side := randomBisection(w.N(), rng)
+		before := cut.New(w.Graph, append([]bool(nil), side...)).Capacity()
+		for r := 0; r <= w.Dim(); r++ {
+			rotated := RotateCut(w, side, r)
+			after := cut.New(w.Graph, rotated).Capacity()
+			if after != before {
+				t.Fatalf("rotation by %d changed capacity %d → %d", r, before, after)
+			}
+		}
+	}
+}
+
+func TestRotateCutMovesLevels(t *testing.T) {
+	// Rotating by log n − i moves level i's pattern to level 0.
+	w := topology.NewWrappedButterfly(8)
+	side := make([]bool, w.N())
+	// Mark a distinctive pattern on level 2.
+	for _, v := range w.LevelNodes(2) {
+		if w.Column(v)%3 == 0 {
+			side[v] = true
+		}
+	}
+	rotated := RotateCut(w, side, w.Dim()-2)
+	count0 := 0
+	for _, v := range w.LevelNodes(0) {
+		if rotated[v] {
+			count0++
+		}
+	}
+	want := 0
+	for _, v := range w.LevelNodes(2) {
+		if side[v] {
+			want++
+		}
+	}
+	if count0 != want {
+		t.Errorf("level-0 count after rotation %d, want %d", count0, want)
+	}
+}
+
+func TestSplitPreservesCapacity(t *testing.T) {
+	w := topology.NewWrappedButterfly(16)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		side := randomBisection(w.N(), rng)
+		before := cut.New(w.Graph, append([]bool(nil), side...)).Capacity()
+		b, bSide := SplitToButterfly(w, side)
+		after := cut.New(b.Graph, bSide).Capacity()
+		if after != before {
+			t.Fatalf("transmutation changed capacity %d → %d", before, after)
+		}
+	}
+}
+
+func TestPipelineOnExactMinimumCuts(t *testing.T) {
+	// The executable Lemma 3.2 proof: the exact minimum bisection of Wn
+	// transmutes into a Bn cut bisecting the inputs without capacity
+	// increase, and Lemma 3.1's exact check then certifies ≥ n.
+	for _, n := range []int{4, 8} {
+		w := topology.NewWrappedButterfly(n)
+		bis, width := exact.MinBisectionWithBound(w.Graph, n)
+		if width != n {
+			t.Fatalf("W%d: BW = %d", n, width)
+		}
+		side := make([]bool, w.N())
+		for v := 0; v < w.N(); v++ {
+			side[v] = bis.InS(v)
+		}
+		res, err := Run(w, side)
+		if err != nil {
+			t.Fatalf("W%d: %v", n, err)
+		}
+		if res.BnCapacity != res.WnCapacity {
+			t.Errorf("W%d: transmutation changed capacity", n)
+		}
+		if res.FinalCapacity > res.WnCapacity {
+			t.Errorf("W%d: rebalancing increased capacity %d → %d", n, res.WnCapacity, res.FinalCapacity)
+		}
+		if !res.InputBisected {
+			t.Errorf("W%d: pipeline did not bisect the inputs", n)
+		}
+		// Lemma 3.1 then forces FinalCapacity ≥ n; combined with
+		// WnCapacity = n this closes BW(Wn) = n.
+		if res.FinalCapacity < n {
+			t.Errorf("W%d: final capacity %d below n — contradicts Lemma 3.1", n, res.FinalCapacity)
+		}
+	}
+}
+
+func TestPipelineOnRandomBisections(t *testing.T) {
+	// The pipeline must succeed on arbitrary bisections, not just minima.
+	rng := rand.New(rand.NewSource(5))
+	w := topology.NewWrappedButterfly(8)
+	for trial := 0; trial < 50; trial++ {
+		side := randomBisection(w.N(), rng)
+		res, err := Run(w, side)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.FinalCapacity > res.WnCapacity {
+			t.Fatalf("trial %d: capacity increased", trial)
+		}
+		if !res.InputBisected {
+			t.Fatalf("trial %d: inputs not bisected", trial)
+		}
+		if res.FinalCapacity < 8 {
+			t.Fatalf("trial %d: final capacity %d below n = 8 (Lemma 3.1 violated)", trial, res.FinalCapacity)
+		}
+	}
+}
+
+func TestFindSplitLevelFailsGracefully(t *testing.T) {
+	// An extreme non-bisection (everything in S) has no split level.
+	w := topology.NewWrappedButterfly(4)
+	side := make([]bool, w.N())
+	for i := range side {
+		side[i] = true
+	}
+	if _, ok := FindSplitLevel(w, side); ok {
+		t.Errorf("all-S cut should have no split level")
+	}
+}
+
+func TestSplitRejectsBn(t *testing.T) {
+	b := topology.NewButterfly(4)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Bn input did not panic")
+		}
+	}()
+	SplitToButterfly(b, make([]bool, b.N()))
+}

@@ -1,0 +1,178 @@
+package variants
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expansion"
+)
+
+func TestOmegaPorts(t *testing.T) {
+	o := NewOmega(16) // base B8
+	countPorted := 0
+	for v := 0; v < o.Base.N(); v++ {
+		switch p := o.Ports(v); p {
+		case 0, 2:
+			if p == 2 {
+				countPorted++
+			}
+		default:
+			t.Fatalf("unexpected port weight %d", p)
+		}
+	}
+	// All inputs and outputs of B8: 16 nodes.
+	if countPorted != 16 {
+		t.Errorf("%d ported nodes, want 16", countPorted)
+	}
+}
+
+func TestOmegaWholeNetworkBoundary(t *testing.T) {
+	// With S = all nodes, C(S,S̄) = 0 and the boundary is the total port
+	// count 2·(n/2) + 2·(n/2) = 2n.
+	o := NewOmega(16)
+	all := make([]int, o.Base.N())
+	for v := range all {
+		all[v] = v
+	}
+	if got := o.PortedBoundary(all); got != 32 {
+		t.Errorf("whole-network ported boundary %d, want 2n = 32", got)
+	}
+}
+
+func TestOmegaMinPortedBoundaryAgainstBruteForce(t *testing.T) {
+	o := NewOmega(8) // base B4: 12 nodes, exhaustively enumerable
+	n := o.Base.N()
+	for k := 1; k <= 6; k++ {
+		_, got := o.MinPortedBoundary(k)
+		want := 1 << 30
+		var set []int
+		for mask := 0; mask < 1<<n; mask++ {
+			if popcount(mask) != k {
+				continue
+			}
+			set = set[:0]
+			for v := 0; v < n; v++ {
+				if mask>>v&1 == 1 {
+					set = append(set, v)
+				}
+			}
+			if b := o.PortedBoundary(set); b < want {
+				want = b
+			}
+		}
+		if got != want {
+			t.Errorf("k=%d: B&B %d, brute force %d", k, got, want)
+		}
+	}
+}
+
+func TestSnirInequalityOnExactMinima(t *testing.T) {
+	// §1.6: C log C ≥ 4k must hold at the exact minimum for every k.
+	o := NewOmega(8)
+	for k := 1; k <= 10; k++ {
+		_, c := o.MinPortedBoundary(k)
+		if !SnirInequalityHolds(c, k) {
+			t.Errorf("k=%d: Snir inequality fails at C=%d", k, c)
+		}
+	}
+}
+
+func TestSnirInequalityOnWitnesses(t *testing.T) {
+	// On larger Ω_n, sub-butterfly-like sets (interior components) are the
+	// cheap sets; the inequality must survive them too.
+	o := NewOmega(32) // base B16
+	for d := 1; d <= 3; d++ {
+		set := expansion.BnEdgeWitness(o.Base, d)
+		c := o.PortedBoundary(set)
+		if !SnirInequalityHolds(c, len(set)) {
+			t.Errorf("d=%d: Snir inequality fails at C=%d, k=%d", d, c, len(set))
+		}
+	}
+}
+
+func TestSnirInequalityRandomSets(t *testing.T) {
+	o := NewOmega(16)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(o.Base.N())
+		set := rng.Perm(o.Base.N())[:k]
+		if !SnirInequalityHolds(o.PortedBoundary(set), k) {
+			t.Fatalf("Snir inequality fails on a random set (k=%d)", k)
+		}
+	}
+}
+
+func TestSnirInequalityEdgeCases(t *testing.T) {
+	if !SnirInequalityHolds(0, 0) {
+		t.Errorf("C=0,k=0 should hold")
+	}
+	if SnirInequalityHolds(0, 1) {
+		t.Errorf("C=0,k=1 should fail")
+	}
+	if SnirInequalityHolds(2, 10) {
+		t.Errorf("2·log2 = 2 < 40 should fail")
+	}
+}
+
+func TestHongKungOnWitnessSets(t *testing.T) {
+	// Lemma 4.10's witness sets are the hardest case: few input-side
+	// separators guard many nodes. The bound k ≤ 2|D|log|D| must hold.
+	f := NewFFT(16)
+	for d := 1; d <= 3; d++ {
+		set := expansion.BnNodeWitness(f.Base, d)
+		holds, sep := f.VerifyHongKung(set)
+		if !holds {
+			t.Errorf("d=%d: Hong–Kung bound fails: k=%d, |D|=%d", d, len(set), len(sep))
+		}
+		// The separator can be at most k + inputs but should be far
+		// smaller for these clustered sets.
+		if len(sep) > len(set) {
+			t.Errorf("d=%d: separator larger than the set itself", d)
+		}
+	}
+}
+
+func TestHongKungRandomSets(t *testing.T) {
+	f := NewFFT(8)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(f.Base.N()-1)
+		set := rng.Perm(f.Base.N())[:k]
+		if holds, sep := f.VerifyHongKung(set); !holds {
+			t.Fatalf("Hong–Kung fails: k=%d |D|=%d", k, len(sep))
+		}
+	}
+}
+
+func TestHongKungSeparatorIsMinimal(t *testing.T) {
+	// For S = all outputs of Bn, the separator is a full level: |D| = n.
+	f := NewFFT(8)
+	sep := f.MinInputSeparator(f.Base.OutputNodes())
+	if len(sep) != 8 {
+		t.Errorf("separator for outputs has %d nodes, want 8", len(sep))
+	}
+	if !HongKungBoundHolds(8, len(sep)) {
+		t.Errorf("k=8 ≤ 2·8·3 must hold")
+	}
+}
+
+func TestHongKungBoundEdgeCases(t *testing.T) {
+	if !HongKungBoundHolds(0, 0) || !HongKungBoundHolds(0, 1) {
+		t.Errorf("k=0 should always hold")
+	}
+	if HongKungBoundHolds(1, 1) {
+		t.Errorf("k=1, |D|=1 gives 2·1·0 = 0 < 1: must fail")
+	}
+	if !HongKungBoundHolds(4, 2) {
+		t.Errorf("4 ≤ 2·2·1 should hold")
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestBinariesSmoke runs every executable and example once with fast
+// arguments, pinning the end-to-end wiring (flag parsing, report assembly,
+// rendering). Skipped under -short: each run pays a `go run` compile.
+func TestBinariesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke runs")
+	}
+	cases := [][]string{
+		{"./cmd/bwtable", "-max-log", "12"},
+		{"./cmd/mostable", "-max-j", "64"},
+		{"./cmd/exptable", "-n", "64", "-max-d", "2"},
+		{"./cmd/routesim", "-max-log", "5"},
+		{"./cmd/butterfly", "-n", "8"},
+		{"./cmd/butterfly", "-dot", "-n", "4"},
+		{"./cmd/figdata", "-series", "bisection", "-max-log", "12"},
+		{"./cmd/figdata", "-series", "mos", "-max-j", "64"},
+		{"./cmd/paperrepro", "-quick"},
+		{"./examples/quickstart"},
+		{"./examples/bisection083"},
+		{"./examples/expansion-survey"},
+		{"./examples/permutation-routing"},
+		{"./examples/dissemination"},
+		{"./examples/vlsi-layout"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c[0], func(t *testing.T) {
+			args := append([]string{"run"}, c...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %v: %v\n%s", c, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go run %v produced no output", c)
+			}
+		})
+	}
+}
