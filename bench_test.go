@@ -163,6 +163,55 @@ func BenchmarkExpansionExact(b *testing.B) {
 	}
 }
 
+// BenchmarkExpansionExactParallel{Edge,Node} measure the parallel
+// prefix-fan-out expansion engine on a W16 workload the serial engine of
+// the seed handled in the hundreds of milliseconds; the serial entries
+// above stay as the baseline of the trajectory.
+func BenchmarkExpansionExactParallelEdge(b *testing.B) {
+	w := topology.NewWrappedButterfly(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ee := exact.MinEdgeExpansionParallel(w.Graph, 6, 0); ee != 10 {
+			b.Fatalf("EE(W16,6) = %d", ee)
+		}
+	}
+}
+
+func BenchmarkExpansionExactParallelNode(b *testing.B) {
+	w := topology.NewWrappedButterfly(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ne := exact.MinNodeExpansionParallel(w.Graph, 6, 0); ne != 9 {
+			b.Fatalf("NE(W16,6) = %d", ne)
+		}
+	}
+}
+
+// BenchmarkExpansionSurvey measures the batched engine: one BFS order, one
+// worker pool and per-worker scratch reused across the whole k-sweep, each
+// search root-forced (Wn is vertex-transitive) and seeded by its witness.
+func BenchmarkExpansionSurvey(b *testing.B) {
+	w := topology.NewWrappedButterfly(8)
+	ks := []int{2, 3, 4, 5, 6}
+	seed := func(k int) int {
+		if k == 4 {
+			return cut.EdgeBoundary(w.Graph, expansion.WnEdgeWitness(w, 1))
+		}
+		return -1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := exact.ExpansionSurveyWithOptions(w.Graph, ks, 0, 0,
+			exact.SurveyOptions{EdgeSeed: seed})
+		if res[2].EE != 8 {
+			b.Fatalf("EE(W8,4) = %d", res[2].EE)
+		}
+	}
+}
+
 // --- E8: routing vs bisection bound (§1.2) ---
 
 func BenchmarkRouting(b *testing.B) {

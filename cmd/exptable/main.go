@@ -4,9 +4,13 @@
 // the credit-scheme certified lower bounds evaluated on those witnesses,
 // the exact optima where enumerable, and the k/log k theory columns.
 //
+// Exact optima come from the parallel witness-seeded branch-and-bound in
+// internal/exact; -workers sizes its pool and -kmax widens the set sizes it
+// is allowed to certify.
+//
 // Usage:
 //
-//	exptable [-n 256] [-max-d 4] [-exact-nodes 32]
+//	exptable [-n 256] [-max-d 4] [-exact-nodes 32] [-kmax 8] [-workers 0]
 package main
 
 import (
@@ -20,14 +24,27 @@ func main() {
 	n := flag.Int("n", 256, "butterfly inputs (power of two)")
 	maxD := flag.Int("max-d", 4, "largest witness sub-butterfly dimension")
 	exactNodes := flag.Int("exact-nodes", 32, "exact enumeration budget (node count)")
+	kmax := flag.Int("kmax", 8, "largest set size certified by the exact engine")
+	workers := flag.Int("workers", 0, "exact-engine worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	dims := make([]int, 0, *maxD)
-	for d := 1; d <= *maxD; d++ {
-		dims = append(dims, d)
+	opts := core.ExpansionTableOptions{
+		ExactNodes: *exactNodes,
+		KMax:       *kmax,
+		Workers:    *workers,
 	}
 	for _, kind := range []core.ExpansionKind{core.WnEdge, core.WnNode, core.BnEdge, core.BnNode} {
-		rows := core.ExpansionTable(kind, *n, dims, *exactNodes)
+		// Each kind's lemma construction has its own valid dimension range;
+		// clamp so one sweep can cover all four tables.
+		top := core.MaxWitnessDim(kind, *n)
+		if top > *maxD {
+			top = *maxD
+		}
+		var dims []int
+		for d := 1; d <= top; d++ {
+			dims = append(dims, d)
+		}
+		rows := core.ExpansionTable(kind, *n, dims, opts)
 		fmt.Print(core.RenderExpansionTable(rows))
 		fmt.Println()
 	}

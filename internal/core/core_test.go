@@ -109,7 +109,7 @@ func TestMOSConvergenceReport(t *testing.T) {
 
 func TestExpansionTables(t *testing.T) {
 	for _, kind := range []ExpansionKind{WnEdge, WnNode, BnEdge, BnNode} {
-		rows := ExpansionTable(kind, 64, []int{1, 2}, 0)
+		rows := ExpansionTable(kind, 64, []int{1, 2}, ExpansionTableOptions{})
 		if len(rows) != 2 {
 			t.Fatalf("%v: %d rows", kind, len(rows))
 		}
@@ -130,9 +130,33 @@ func TestExpansionTables(t *testing.T) {
 	}
 }
 
+func TestMaxWitnessDim(t *testing.T) {
+	// At the returned dimension the witness constructors succeed; one above
+	// they refuse (the lemmas need room around the sub-butterfly).
+	for _, kind := range []ExpansionKind{WnEdge, WnNode, BnEdge, BnNode} {
+		for _, n := range []int{16, 64} {
+			top := MaxWitnessDim(kind, n)
+			if top < 1 {
+				t.Fatalf("%v n=%d: no valid witness dimension", kind, n)
+			}
+			if rows := ExpansionTable(kind, n, []int{top}, ExpansionTableOptions{}); len(rows) != 1 {
+				t.Fatalf("%v n=%d d=%d: %d rows", kind, n, top, len(rows))
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%v n=%d d=%d: expected out-of-range panic", kind, n, top+1)
+					}
+				}()
+				ExpansionTable(kind, n, []int{top + 1}, ExpansionTableOptions{})
+			}()
+		}
+	}
+}
+
 func TestExpansionTableExact(t *testing.T) {
 	// With a budget, exact optima appear and sit between the bounds.
-	rows := ExpansionTable(WnEdge, 8, []int{1}, 64)
+	rows := ExpansionTable(WnEdge, 8, []int{1}, ExpansionTableOptions{ExactNodes: 64})
 	r := rows[0]
 	if r.Exact == Unknown {
 		t.Fatalf("exact not computed")

@@ -72,6 +72,26 @@ type ExpansionRow struct {
 	TheoryUB       float64 // c_upper·k/log k
 }
 
+// MaxWitnessDim returns the largest witness dimension d for which the
+// kind's §4 lemma construction exists on an n-input network (the lemmas
+// need room around the sub-butterfly; see the constraints in package
+// expansion). Dimensions above it make the witness constructors panic.
+func MaxWitnessDim(kind ExpansionKind, n int) int {
+	dim := 0
+	for x := n; x > 1; x >>= 1 {
+		dim++
+	}
+	switch kind {
+	case WnEdge:
+		return dim - 2
+	case WnNode:
+		return dim - 3
+	case BnEdge, BnNode:
+		return dim - 1
+	}
+	return 0
+}
+
 func witnessFormula(kind ExpansionKind, d int) int {
 	switch kind {
 	case WnEdge:
@@ -86,81 +106,126 @@ func witnessFormula(kind ExpansionKind, d int) int {
 	return 0
 }
 
+// ExpansionTableOptions tune the exact-certification pass of
+// ExpansionTable. The zero value reproduces the historical budget
+// (k ≤ 8, GOMAXPROCS workers) with the exact pass disabled until
+// ExactNodes is set.
+type ExpansionTableOptions struct {
+	// ExactNodes enables the exact engine on networks whose effective
+	// search size is at most this many nodes; 0 disables exact optima.
+	ExactNodes int
+	// KMax caps the set sizes handed to the exact engine (default 8). The
+	// parallel witness-seeded engine makes k = 10–12 reachable on small
+	// networks; see cmd/exptable's -kmax flag.
+	KMax int
+	// Workers is the exact engine's worker-pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o ExpansionTableOptions) withDefaults() ExpansionTableOptions {
+	if o.KMax <= 0 {
+		o.KMax = 8
+	}
+	return o
+}
+
 // ExpansionTable evaluates one §4.3 row family on an n-input network for
 // each witness dimension in dims. Exact optima are computed when the
-// enumeration is affordable (small n and k).
-func ExpansionTable(kind ExpansionKind, n int, dims []int, exactBudget int) []ExpansionRow {
+// enumeration is affordable (small n and k): all affordable rows are
+// batched into one exact.ExpansionSurvey call, root-forced on the
+// vertex-transitive Wn and seeded with the witness boundaries so the
+// branch-and-bound prunes against a tight incumbent from the start.
+func ExpansionTable(kind ExpansionKind, n int, dims []int, opts ExpansionTableOptions) []ExpansionRow {
+	opts = opts.withDefaults()
 	rows := make([]ExpansionRow, 0, len(dims))
+	var g *topology.Butterfly
+	var root, costNodes int
 	switch kind {
 	case WnEdge, WnNode:
-		w := topology.NewWrappedButterfly(n)
-		for _, d := range dims {
-			rows = append(rows, expansionRowWn(kind, w, d, exactBudget))
-		}
+		g = topology.NewWrappedButterfly(n)
+		// Wn is vertex-transitive, so the root-forced solver is exact and a
+		// factor-N cheaper (the halved cost proxy reflects that).
+		root, costNodes = 0, g.N()/2
 	case BnEdge, BnNode:
-		b := topology.NewButterfly(n)
-		for _, d := range dims {
-			rows = append(rows, expansionRowBn(kind, b, d, exactBudget))
+		g = topology.NewButterfly(n)
+		root, costNodes = -1, g.N()
+	}
+	for _, d := range dims {
+		rows = append(rows, expansionRow(kind, g, d))
+	}
+
+	// Batch the affordable rows into one survey, seeded by their witnesses.
+	var ks []int
+	seeds := make(map[int]int)
+	for _, r := range rows {
+		if expansionExactAffordable(costNodes, r.K, opts.ExactNodes, opts.KMax) {
+			ks = append(ks, r.K)
+			seeds[r.K] = r.WitnessUB
+		}
+	}
+	if len(ks) == 0 {
+		return rows
+	}
+	seed := func(k int) int {
+		if ub, ok := seeds[k]; ok {
+			return ub
+		}
+		return -1
+	}
+	surveyOpts := exact.SurveyOptions{
+		EdgeOnly: kind == WnEdge || kind == BnEdge,
+		NodeOnly: kind == WnNode || kind == BnNode,
+		EdgeSeed: seed,
+		NodeSeed: seed,
+	}
+	exactByK := make(map[int]int)
+	for _, res := range exact.ExpansionSurveyWithOptions(g.Graph, ks, root, opts.Workers, surveyOpts) {
+		if res.EE != exact.NotComputed {
+			exactByK[res.K] = res.EE
+		} else {
+			exactByK[res.K] = res.NE
+		}
+	}
+	for i := range rows {
+		if v, ok := exactByK[rows[i].K]; ok {
+			rows[i].Exact = v
 		}
 	}
 	return rows
 }
 
-func expansionRowWn(kind ExpansionKind, w *topology.Butterfly, d, exactBudget int) ExpansionRow {
+// expansionRow measures one witness row: the set, its boundary, the credit
+// certificate and the theory band — everything except the exact optimum.
+func expansionRow(kind ExpansionKind, g *topology.Butterfly, d int) ExpansionRow {
 	var set []int
 	var ub int
-	if kind == WnEdge {
-		set = expansion.WnEdgeWitness(w, d)
-		ub = cut.EdgeBoundary(w.Graph, set)
-	} else {
-		set = expansion.WnNodeWitness(w, d)
-		ub = len(cut.NodeBoundary(w.Graph, set))
+	switch kind {
+	case WnEdge:
+		set = expansion.WnEdgeWitness(g, d)
+		ub = cut.EdgeBoundary(g.Graph, set)
+	case WnNode:
+		set = expansion.WnNodeWitness(g, d)
+		ub = len(cut.NodeBoundary(g.Graph, set))
+	case BnEdge:
+		set = expansion.BnEdgeWitness(g, d)
+		ub = cut.EdgeBoundary(g.Graph, set)
+	case BnNode:
+		set = expansion.BnNodeWitness(g, d)
+		ub = len(cut.NodeBoundary(g.Graph, set))
 	}
-	row := ExpansionRow{Kind: kind, N: w.Inputs(), D: d, K: len(set), WitnessUB: ub,
+	row := ExpansionRow{Kind: kind, N: g.Inputs(), D: d, K: len(set), WitnessUB: ub,
 		WitnessFormula: witnessFormula(kind, d), Exact: Unknown}
-	if kind == WnEdge {
-		row.CreditLB = expansion.WnEdgeCreditBound(w, set).LowerBound
-	} else {
-		row.CreditLB = expansion.WnNodeCreditBound(w, set).LowerBound
+	switch kind {
+	case WnEdge:
+		row.CreditLB = expansion.WnEdgeCreditBound(g, set).LowerBound
+	case WnNode:
+		row.CreditLB = expansion.WnNodeCreditBound(g, set).LowerBound
+	case BnEdge:
+		row.CreditLB = expansion.BnEdgeCreditBound(g, set).LowerBound
+	case BnNode:
+		row.CreditLB = expansion.BnNodeCreditBound(g, set).LowerBound
 	}
 	row.TheoryLB, row.TheoryUB = theoryBounds(kind, row.K)
-	// Wn is vertex-transitive, so the root-forced solver is exact and a
-	// factor-N cheaper (the larger budget reflects that).
-	if expansionExactAffordable(w.N()/2, row.K, exactBudget) {
-		if kind == WnEdge {
-			_, row.Exact = exact.MinEdgeExpansionContaining(w.Graph, row.K, 0)
-		} else {
-			_, row.Exact = exact.MinNodeExpansionContaining(w.Graph, row.K, 0)
-		}
-	}
-	return row
-}
-
-func expansionRowBn(kind ExpansionKind, b *topology.Butterfly, d, exactBudget int) ExpansionRow {
-	var set []int
-	var ub int
-	if kind == BnEdge {
-		set = expansion.BnEdgeWitness(b, d)
-		ub = cut.EdgeBoundary(b.Graph, set)
-	} else {
-		set = expansion.BnNodeWitness(b, d)
-		ub = len(cut.NodeBoundary(b.Graph, set))
-	}
-	row := ExpansionRow{Kind: kind, N: b.Inputs(), D: d, K: len(set), WitnessUB: ub,
-		WitnessFormula: witnessFormula(kind, d), Exact: Unknown}
-	if kind == BnEdge {
-		row.CreditLB = expansion.BnEdgeCreditBound(b, set).LowerBound
-	} else {
-		row.CreditLB = expansion.BnNodeCreditBound(b, set).LowerBound
-	}
-	row.TheoryLB, row.TheoryUB = theoryBounds(kind, row.K)
-	if expansionExactAffordable(b.N(), row.K, exactBudget) {
-		if kind == BnEdge {
-			_, row.Exact = exact.MinEdgeExpansion(b.Graph, row.K)
-		} else {
-			_, row.Exact = exact.MinNodeExpansion(b.Graph, row.K)
-		}
-	}
 	return row
 }
 
@@ -178,11 +243,11 @@ func theoryBounds(kind ExpansionKind, k int) (lo, hi float64) {
 
 // expansionExactAffordable is a coarse budget on the subset enumeration:
 // roughly C(N,k) states after pruning; we cap by N and k.
-func expansionExactAffordable(nodes, k, budget int) bool {
+func expansionExactAffordable(nodes, k, budget, kmax int) bool {
 	if budget <= 0 {
 		return false
 	}
-	return nodes <= budget && k <= 8
+	return nodes <= budget && k <= kmax
 }
 
 // RenderExpansionTable renders rows for one kind.

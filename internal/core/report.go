@@ -71,11 +71,14 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 
 	fmt.Fprintln(w, "\n=== E6/E7: expansion (§4.3 tables) ===")
 	for _, kind := range []ExpansionKind{WnEdge, WnNode, BnEdge, BnNode} {
-		fmt.Fprint(w, RenderExpansionTable(ExpansionTable(kind, 256, []int{1, 2, 3, 4}, exactNodes)))
+		fmt.Fprint(w, RenderExpansionTable(ExpansionTable(kind, 256, []int{1, 2, 3, 4},
+			ExpansionTableOptions{ExactNodes: exactNodes})))
 	}
 	fmt.Fprintln(w, "\n--- exact optima at enumerable sizes ---")
-	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(WnEdge, 16, []int{1}, exactNodes*2)))
-	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(BnEdge, 8, []int{1}, exactNodes*2)))
+	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(WnEdge, 16, []int{1},
+		ExpansionTableOptions{ExactNodes: exactNodes * 2})))
+	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(BnEdge, 8, []int{1},
+		ExpansionTableOptions{ExactNodes: exactNodes * 2})))
 
 	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
 	var random []RoutingReport

@@ -8,6 +8,12 @@
 // on which the experiments pin exact values (a few dozen nodes); larger
 // networks are handled by package heuristic (upper bounds) and by the
 // paper's constructions and certified lower bounds.
+//
+// The bisection and expansion solvers both have parallel variants that fan
+// the assignments of a BFS prefix out over a worker pool sharing an atomic
+// incumbent, and the expansion solvers additionally accept achievable
+// upper-bound seeds (witness or greedy sets) and batch whole k-sweeps
+// (ExpansionSurvey) over one pool.
 package exact
 
 import (
@@ -63,16 +69,24 @@ func newBBState(g *graph.Graph) *bbState {
 	return st
 }
 
+// bfsOrder returns a BFS order of all nodes, sweeping components in node-id
+// order.
 func bfsOrder(g *graph.Graph) []int32 {
+	if g.N() == 0 {
+		return nil
+	}
+	return bfsOrderFrom(g, 0)
+}
+
+// bfsOrderFrom returns a BFS order starting at root, covering remaining
+// components afterwards in node-id order.
+func bfsOrderFrom(g *graph.Graph, root int) []int32 {
 	n := g.N()
 	order := make([]int32, 0, n)
 	seen := make([]bool, n)
-	for start := 0; start < n; start++ {
-		if seen[start] {
-			continue
-		}
-		seen[start] = true
-		queue := []int32{int32(start)}
+	seen[root] = true
+	queue := []int32{int32(root)}
+	for start := 0; ; start++ {
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
 			order = append(order, v)
@@ -83,8 +97,14 @@ func bfsOrder(g *graph.Graph) []int32 {
 				}
 			}
 		}
+		for ; start < n && seen[start]; start++ {
+		}
+		if start == n {
+			return order
+		}
+		seen[start] = true
+		queue = append(queue[:0], int32(start))
 	}
-	return order
 }
 
 func minInt32(a, b int32) int32 {

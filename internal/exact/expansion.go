@@ -6,10 +6,20 @@ import (
 
 // MinEdgeExpansion computes EE(g,k) = min_{|S|=k} C(S,S̄) (§1.3), returning
 // a minimizing set and its edge boundary. It is a branch-and-bound over the
-// nodes in BFS order: edges between a chosen in-node and a decided out-node
-// are permanently cut, so the count of such edges is an admissible bound.
+// nodes in BFS order with incrementally maintained boundary counters (see
+// expState), so completed sets are evaluated in O(1).
 func MinEdgeExpansion(g *graph.Graph, k int) ([]int, int) {
-	return minEdgeExpansion(g, k, -1)
+	return minExpansion(g, k, -1, edgeExpansion, noBound)
+}
+
+// MinEdgeExpansionWithBound is MinEdgeExpansion seeded with a known
+// achievable upper bound on EE(g,k) — the measured boundary of some k-set,
+// e.g. a §4 witness or a greedy set from package heuristic. A tight seed
+// prunes from the first branch instead of discovering an incumbent the slow
+// way. If bound is below the true optimum the search falls back to an
+// unseeded run, so the result is exact either way.
+func MinEdgeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
+	return minExpansion(g, k, -1, edgeExpansion, bound)
 }
 
 // MinEdgeExpansionContaining computes min C(S,S̄) over sets of size k that
@@ -18,281 +28,97 @@ func MinEdgeExpansion(g *graph.Graph, k int) ([]int, int) {
 // this equals EE(g,k) while shrinking the search by a factor of N; on other
 // networks it is an upper bound on EE(g,k).
 func MinEdgeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
-	if root < 0 || root >= g.N() {
-		panic("exact: root out of range")
-	}
-	return minEdgeExpansion(g, k, root)
-}
-
-func minEdgeExpansion(g *graph.Graph, k, root int) ([]int, int) {
-	if k < 0 || k > g.N() {
-		panic("exact: expansion set size out of range")
-	}
-	if k == 0 || k == g.N() {
-		return prefixSet(g, k), 0
-	}
-	n := g.N()
-	var order []int32
-	if root >= 0 {
-		order = bfsOrderFrom(g, root)
-	} else {
-		order = bfsOrder(g)
-	}
-
-	assign := make([]int8, n) // -1 undecided, 0 in S, 1 out
-	for i := range assign {
-		assign[i] = unassigned
-	}
-
-	best := g.M() + 1
-	var bestSet []int
-	chosen := 0
-	permCut := 0 // edges between in-nodes and out-nodes
-
-	// suffixCount[i] = number of nodes in order[i:], used to prune when the
-	// remaining nodes cannot complete the set.
-	var dfs func(idx int)
-	dfs = func(idx int) {
-		if permCut >= best {
-			return
-		}
-		remaining := n - idx
-		if chosen+remaining < k {
-			return
-		}
-		if chosen == k {
-			// All undecided nodes are out: boundary = permCut + edges from
-			// in-nodes to undecided nodes.
-			total := permCut
-			for v := 0; v < n; v++ {
-				if assign[v] != sideS {
-					continue
-				}
-				for _, u := range g.Neighbors(v) {
-					if assign[u] == unassigned {
-						total++
-					}
-				}
-			}
-			if total < best {
-				best = total
-				bestSet = bestSet[:0]
-				for v := 0; v < n; v++ {
-					if assign[v] == sideS {
-						bestSet = append(bestSet, v)
-					}
-				}
-			}
-			return
-		}
-		if idx == n {
-			return
-		}
-		v := int(order[idx])
-
-		// Include v.
-		delta := 0
-		for _, u := range g.Neighbors(v) {
-			if assign[u] == sideSbar {
-				delta++
-			}
-		}
-		assign[v] = sideS
-		chosen++
-		permCut += delta
-		dfs(idx + 1)
-		permCut -= delta
-		chosen--
-
-		if root >= 0 && idx == 0 {
-			// The root is forced into S.
-			assign[v] = unassigned
-			return
-		}
-
-		// Exclude v.
-		delta = 0
-		for _, u := range g.Neighbors(v) {
-			if assign[u] == sideS {
-				delta++
-			}
-		}
-		assign[v] = sideSbar
-		permCut += delta
-		dfs(idx + 1)
-		permCut -= delta
-		assign[v] = unassigned
-	}
-	dfs(0)
-
-	out := make([]int, len(bestSet))
-	copy(out, bestSet)
-	return out, best
+	checkRoot(g, root)
+	return minExpansion(g, k, root, edgeExpansion, noBound)
 }
 
 // MinNodeExpansion computes NE(g,k) = min_{|S|=k} |N(S)| (§1.3), returning a
-// minimizing set and its neighbor count. Out-nodes adjacent to an in-node
-// are permanently in N(S), giving the admissible bound.
+// minimizing set and its neighbor count.
 func MinNodeExpansion(g *graph.Graph, k int) ([]int, int) {
-	return minNodeExpansion(g, k, -1)
+	return minExpansion(g, k, -1, nodeExpansion, noBound)
+}
+
+// MinNodeExpansionWithBound is the NE analogue of
+// MinEdgeExpansionWithBound.
+func MinNodeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
+	return minExpansion(g, k, -1, nodeExpansion, bound)
 }
 
 // MinNodeExpansionContaining is the root-forced analogue of
 // MinEdgeExpansionContaining for NE(g,k): exact on vertex-transitive
 // networks, an upper bound elsewhere.
 func MinNodeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
+	checkRoot(g, root)
+	return minExpansion(g, k, root, nodeExpansion, noBound)
+}
+
+const (
+	edgeExpansion = true
+	nodeExpansion = false
+
+	// noBound requests an unseeded search; any non-negative bound is taken
+	// as an achievable boundary value.
+	noBound = -1
+)
+
+func checkRoot(g *graph.Graph, root int) {
 	if root < 0 || root >= g.N() {
 		panic("exact: root out of range")
 	}
-	return minNodeExpansion(g, k, root)
 }
 
-func minNodeExpansion(g *graph.Graph, k, root int) ([]int, int) {
+func checkSetSize(g *graph.Graph, k int) {
 	if k < 0 || k > g.N() {
 		panic("exact: expansion set size out of range")
 	}
-	if k == 0 || k == g.N() {
-		return prefixSet(g, k), 0
-	}
-	n := g.N()
-	var order []int32
-	if root >= 0 {
-		order = bfsOrderFrom(g, root)
-	} else {
-		order = bfsOrder(g)
-	}
-
-	assign := make([]int8, n)
-	for i := range assign {
-		assign[i] = unassigned
-	}
-	// inNbrs[v] = number of in-node neighbors of v; a decided-out node with
-	// inNbrs > 0 is permanently a neighbor of S.
-	inNbrs := make([]int32, n)
-
-	best := n + 1
-	var bestSet []int
-	chosen := 0
-	permNbrs := 0
-
-	var dfs func(idx int)
-	dfs = func(idx int) {
-		if permNbrs >= best {
-			return
-		}
-		remaining := n - idx
-		if chosen+remaining < k {
-			return
-		}
-		if chosen == k {
-			// All undecided nodes become out: N(S) = permanently marked
-			// out-nodes + undecided nodes with an in-neighbor.
-			total := permNbrs
-			for v := 0; v < n; v++ {
-				if assign[v] == unassigned && inNbrs[v] > 0 {
-					total++
-				}
-			}
-			if total < best {
-				best = total
-				bestSet = bestSet[:0]
-				for v := 0; v < n; v++ {
-					if assign[v] == sideS {
-						bestSet = append(bestSet, v)
-					}
-				}
-			}
-			return
-		}
-		if idx == n {
-			return
-		}
-		v := int(order[idx])
-
-		// Include v: decided-out neighbors with inNbrs == 0 become new
-		// permanent neighbors.
-		delta := 0
-		for _, u := range g.Neighbors(v) {
-			if assign[u] == sideSbar && inNbrs[u] == 0 {
-				delta++
-			}
-			inNbrs[u]++
-		}
-		assign[v] = sideS
-		chosen++
-		permNbrs += delta
-		dfs(idx + 1)
-		permNbrs -= delta
-		chosen--
-		for _, u := range g.Neighbors(v) {
-			inNbrs[u]--
-		}
-
-		if root >= 0 && idx == 0 {
-			// The root is forced into S.
-			assign[v] = unassigned
-			return
-		}
-
-		// Exclude v: if it already has an in-neighbor it becomes a
-		// permanent member of N(S).
-		delta = 0
-		if inNbrs[v] > 0 {
-			delta = 1
-		}
-		assign[v] = sideSbar
-		permNbrs += delta
-		dfs(idx + 1)
-		permNbrs -= delta
-		assign[v] = unassigned
-	}
-	dfs(0)
-
-	out := make([]int, len(bestSet))
-	copy(out, bestSet)
-	return out, best
 }
 
-// bfsOrderFrom returns a BFS order rooted at the given node, covering
-// remaining components afterwards.
-func bfsOrderFrom(g *graph.Graph, root int) []int32 {
-	n := g.N()
-	order := make([]int32, 0, n)
-	seen := make([]bool, n)
-	queue := []int32{int32(root)}
-	seen[root] = true
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		order = append(order, v)
-		for _, w := range g.Neighbors(int(v)) {
-			if !seen[w] {
-				seen[w] = true
-				queue = append(queue, w)
-			}
-		}
+// initialExpBest is the starting incumbent: one past the seed bound when
+// one is given, otherwise one past the trivial maximum of the quantity.
+func initialExpBest(g *graph.Graph, edge bool, bound int) int64 {
+	if bound >= 0 {
+		return int64(bound) + 1
 	}
-	for v := 0; v < n; v++ {
-		if !seen[v] {
-			seen[v] = true
-			queue = append(queue[:0], int32(v))
-			for head := 0; head < len(queue); head++ {
-				x := queue[head]
-				order = append(order, x)
-				for _, w := range g.Neighbors(int(x)) {
-					if !seen[w] {
-						seen[w] = true
-						queue = append(queue, w)
-					}
-				}
-			}
-		}
+	if edge {
+		return int64(g.M()) + 1
 	}
-	return order
+	return int64(g.N()) + 1
+}
+
+// expansionOrder is the decision order shared by the serial and parallel
+// searches: BFS from the forced root when there is one (so the exclude
+// branch cut at depth 0 applies to it), plain BFS otherwise.
+func expansionOrder(g *graph.Graph, root int) []int32 {
+	if root >= 0 {
+		return bfsOrderFrom(g, root)
+	}
+	return bfsOrder(g)
+}
+
+// minExpansion is the serial engine behind the exported Min*Expansion
+// functions: one expState, one DFS, incumbent seeded from bound.
+func minExpansion(g *graph.Graph, k, root int, edge bool, bound int) ([]int, int) {
+	checkSetSize(g, k)
+	if k == 0 || k == g.N() {
+		return prefixSet(k), 0
+	}
+	st := newExpState(g, expansionOrder(g, root))
+	sb := &sharedExpBound{}
+	sb.best.Store(initialExpBest(g, edge, bound))
+	dfsExpansion(st, 0, k, edge, root >= 0, sb)
+	if sb.set == nil {
+		// bound was below the optimum, so nothing was found: rerun without
+		// the seed. The result is the true optimum either way.
+		return minExpansion(g, k, root, edge, noBound)
+	}
+	out := make([]int, len(sb.set))
+	copy(out, sb.set)
+	return out, int(sb.best.Load())
 }
 
 // prefixSet returns the first k node ids, used for the trivial k ∈ {0, N}
 // cases where the boundary is empty.
-func prefixSet(g *graph.Graph, k int) []int {
+func prefixSet(k int) []int {
 	s := make([]int, k)
 	for i := range s {
 		s[i] = i

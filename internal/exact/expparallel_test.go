@@ -1,0 +1,296 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func randomExpansionGraph(rng *rand.Rand, minN int) *graph.Graph {
+	n := minN + rng.Intn(6)
+	b := graph.NewBuilder(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestParallelExpansionMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		g := randomExpansionGraph(rng, 16) // above the fan-out threshold
+		for k := 1; k <= 6; k++ {
+			_, ee := MinEdgeExpansion(g, k)
+			eeSet, eePar := MinEdgeExpansionParallel(g, k, 3)
+			if eePar != ee {
+				t.Errorf("trial %d k=%d: parallel EE %d, serial %d", trial, k, eePar, ee)
+			}
+			if len(eeSet) != k || cut.EdgeBoundary(g, eeSet) != eePar {
+				t.Errorf("trial %d k=%d: invalid parallel EE witness", trial, k)
+			}
+			_, ne := MinNodeExpansion(g, k)
+			neSet, nePar := MinNodeExpansionParallel(g, k, 3)
+			if nePar != ne {
+				t.Errorf("trial %d k=%d: parallel NE %d, serial %d", trial, k, nePar, ne)
+			}
+			if len(neSet) != k || len(cut.NodeBoundary(g, neSet)) != nePar {
+				t.Errorf("trial %d k=%d: invalid parallel NE witness", trial, k)
+			}
+		}
+	}
+}
+
+func TestParallelExpansionMatchesSerialButterflies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"W8": topology.NewWrappedButterfly(8).Graph,
+		"B4": topology.NewButterfly(4).Graph,
+	} {
+		for k := 1; k <= 5; k++ {
+			_, ee := MinEdgeExpansion(g, k)
+			if _, eePar := MinEdgeExpansionParallel(g, k, 4); eePar != ee {
+				t.Errorf("%s k=%d: parallel EE %d, serial %d", name, k, eePar, ee)
+			}
+			_, ne := MinNodeExpansion(g, k)
+			if _, nePar := MinNodeExpansionParallel(g, k, 4); nePar != ne {
+				t.Errorf("%s k=%d: parallel NE %d, serial %d", name, k, nePar, ne)
+			}
+		}
+	}
+}
+
+func TestParallelContainingMatchesUnrestrictedOnVertexTransitive(t *testing.T) {
+	// Wn and CCCn are vertex-transitive (the Lemma 2.2/3.2 automorphisms
+	// carry any node to any other), so forcing a root loses nothing.
+	for name, g := range map[string]*graph.Graph{
+		"W8":   topology.NewWrappedButterfly(8).Graph,
+		"CCC8": topology.NewCCC(8).Graph,
+	} {
+		for k := 1; k <= 5; k++ {
+			_, ee := MinEdgeExpansionParallel(g, k, 2)
+			set, eeRoot := MinEdgeExpansionParallelContaining(g, k, 0, 2)
+			if eeRoot != ee {
+				t.Errorf("%s EE k=%d: rooted %d, unrestricted %d", name, k, eeRoot, ee)
+			}
+			if !contains(set, 0) {
+				t.Errorf("%s EE k=%d: root not in returned set", name, k)
+			}
+			_, ne := MinNodeExpansionParallel(g, k, 2)
+			setN, neRoot := MinNodeExpansionParallelContaining(g, k, 0, 2)
+			if neRoot != ne {
+				t.Errorf("%s NE k=%d: rooted %d, unrestricted %d", name, k, neRoot, ne)
+			}
+			if !contains(setN, 0) {
+				t.Errorf("%s NE k=%d: root not in returned set", name, k)
+			}
+		}
+	}
+}
+
+func TestParallelExpansionWorkerCounts(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	_, want := MinEdgeExpansion(g, 4)
+	for _, workers := range []int{0, 1, 2, 8} {
+		if _, got := MinEdgeExpansionParallel(g, 4, workers); got != want {
+			t.Errorf("workers=%d: %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestParallelExpansionSeeding(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	_, ee := MinEdgeExpansion(g, 4)
+	_, ne := MinNodeExpansion(g, 4)
+
+	// An exact seed (the optimum itself) must still be found and returned.
+	if _, got := MinEdgeExpansionParallelWithBound(g, 4, 2, ee); got != ee {
+		t.Errorf("exact seed: EE %d, want %d", got, ee)
+	}
+	// A loose seed prunes less but changes nothing.
+	if _, got := MinEdgeExpansionParallelWithBound(g, 4, 2, ee+10); got != ee {
+		t.Errorf("loose seed: EE %d, want %d", got, ee)
+	}
+	// A seed below the optimum (caller error) triggers the unseeded
+	// fallback and stays exact.
+	if _, got := MinEdgeExpansionParallelWithBound(g, 4, 2, ee-1); got != ee {
+		t.Errorf("undercut seed: EE %d, want %d", got, ee)
+	}
+	if _, got := MinNodeExpansionParallelWithBound(g, 4, 2, ne-1); got != ne {
+		t.Errorf("undercut seed: NE %d, want %d", got, ne)
+	}
+
+	// Serial seeded variants agree too.
+	if _, got := MinEdgeExpansionWithBound(g, 4, ee); got != ee {
+		t.Errorf("serial seeded: EE %d, want %d", got, ee)
+	}
+	if _, got := MinNodeExpansionWithBound(g, 4, ne-1); got != ne {
+		t.Errorf("serial undercut seed: NE %d, want %d", got, ne)
+	}
+}
+
+func TestExpansionSurveyMatchesIndividual(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	ks := []int{0, 1, 2, 3, 4, 5, g.N()}
+	res := ExpansionSurvey(g, ks, -1, 3)
+	if len(res) != len(ks) {
+		t.Fatalf("%d results for %d ks", len(res), len(ks))
+	}
+	for i, k := range ks {
+		r := res[i]
+		if r.K != k {
+			t.Fatalf("result %d has K=%d, want %d", i, r.K, k)
+		}
+		_, ee := MinEdgeExpansion(g, k)
+		_, ne := MinNodeExpansion(g, k)
+		if r.EE != ee || r.NE != ne {
+			t.Errorf("k=%d: survey EE/NE %d/%d, serial %d/%d", k, r.EE, r.NE, ee, ne)
+		}
+		if k > 0 && k < g.N() {
+			if cut.EdgeBoundary(g, r.EESet) != r.EE {
+				t.Errorf("k=%d: EE witness boundary mismatch", k)
+			}
+			if len(cut.NodeBoundary(g, r.NESet)) != r.NE {
+				t.Errorf("k=%d: NE witness boundary mismatch", k)
+			}
+		}
+	}
+}
+
+func TestExpansionSurveyRootedSeeded(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	ks := []int{2, 4, 6}
+	// Seeds straddle the optima: exact for one k, undercut for another,
+	// absent for the third — every row must still come out exact.
+	seeds := map[int]int{2: 6, 4: 7}
+	res := ExpansionSurveyWithOptions(g, ks, 0, 2, SurveyOptions{
+		EdgeSeed: func(k int) int {
+			if s, ok := seeds[k]; ok {
+				return s
+			}
+			return -1
+		},
+	})
+	for i, k := range ks {
+		_, ee := MinEdgeExpansionContaining(g, k, 0)
+		_, ne := MinNodeExpansionContaining(g, k, 0)
+		if res[i].EE != ee || res[i].NE != ne {
+			t.Errorf("k=%d: survey EE/NE %d/%d, rooted serial %d/%d",
+				k, res[i].EE, res[i].NE, ee, ne)
+		}
+		if !contains(res[i].EESet, 0) || !contains(res[i].NESet, 0) {
+			t.Errorf("k=%d: root missing from survey witness", k)
+		}
+	}
+}
+
+func TestExpansionSurveyQuantitySelection(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	edgeOnly := ExpansionSurveyWithOptions(g, []int{3}, -1, 2, SurveyOptions{EdgeOnly: true})
+	if edgeOnly[0].NE != NotComputed || edgeOnly[0].NESet != nil {
+		t.Errorf("EdgeOnly computed NE: %+v", edgeOnly[0])
+	}
+	if _, ee := MinEdgeExpansion(g, 3); edgeOnly[0].EE != ee {
+		t.Errorf("EdgeOnly EE %d, want %d", edgeOnly[0].EE, ee)
+	}
+	nodeOnly := ExpansionSurveyWithOptions(g, []int{3}, -1, 2, SurveyOptions{NodeOnly: true})
+	if nodeOnly[0].EE != NotComputed || nodeOnly[0].EESet != nil {
+		t.Errorf("NodeOnly computed EE: %+v", nodeOnly[0])
+	}
+}
+
+func TestExpansionSurveyTinyGraph(t *testing.T) {
+	// Below the fan-out threshold the survey runs serially; results must
+	// still match the individual solvers.
+	g := cycleGraph(10)
+	res := ExpansionSurvey(g, []int{1, 3, 5}, -1, 4)
+	for i, k := range []int{1, 3, 5} {
+		if res[i].EE != 2 || res[i].NE != 2 {
+			t.Errorf("k=%d: EE/NE %d/%d, want 2/2", k, res[i].EE, res[i].NE)
+		}
+	}
+}
+
+func TestExpansionSurveyValidation(t *testing.T) {
+	g := cycleGraph(6)
+	for _, bad := range [][]int{{-1}, {7}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ks=%v did not panic", bad)
+				}
+			}()
+			ExpansionSurvey(g, bad, -1, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("oversized root did not panic")
+			}
+		}()
+		ExpansionSurvey(g, []int{2}, 6, 1)
+	}()
+}
+
+// TestIncrementalLeafAccounting pins the O(1) leaf counters against the
+// direct cut computations on a graph with parallel edges, which the CSR
+// substrate supports and the counters must handle per-edge.
+func TestIncrementalLeafAccounting(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // parallel
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	g := b.Build()
+	st := newExpState(g, bfsOrder(g))
+	rng := rand.New(rand.NewSource(7))
+	for _, edge := range []bool{true, false} {
+		for trial := 0; trial < 50; trial++ {
+			var placed []int
+			for v := 0; v < g.N(); v++ {
+				switch rng.Intn(3) {
+				case 0:
+					st.place(v, sideS, edge)
+					placed = append(placed, v)
+				case 1:
+					st.place(v, sideSbar, edge)
+					placed = append(placed, v)
+				}
+			}
+			// Treating undecided as out: compare counters with cut package.
+			var sOnly []int
+			for v := 0; v < g.N(); v++ {
+				if st.assign[v] == sideS {
+					sOnly = append(sOnly, v)
+				}
+			}
+			if edge {
+				if got, want := st.permCut+st.inUnd, cut.EdgeBoundary(g, sOnly); got != want {
+					t.Fatalf("trial %d: edge counters %d, boundary %d", trial, got, want)
+				}
+			} else if got, want := st.permNbrs+st.undWithIn, len(cut.NodeBoundary(g, sOnly)); got != want {
+				t.Fatalf("trial %d: node counters %d, boundary %d", trial, got, want)
+			}
+			for i := len(placed) - 1; i >= 0; i-- {
+				st.unplace(placed[i], edge)
+			}
+			if st.permCut != 0 || st.inUnd != 0 || st.permNbrs != 0 || st.undWithIn != 0 || st.chosen != 0 {
+				t.Fatalf("trial %d: counters not restored: %+v", trial, st)
+			}
+			for v := 0; v < g.N(); v++ {
+				if st.inNbrs[v] != 0 {
+					t.Fatalf("trial %d: inNbrs[%d] = %d after full unplace", trial, v, st.inNbrs[v])
+				}
+			}
+		}
+	}
+}

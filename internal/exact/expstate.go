@@ -1,0 +1,289 @@
+package exact
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// expState is the incremental machinery shared by the serial and parallel
+// expansion branch-and-bound searches (EE and NE, §1.3). Nodes are decided
+// in a fixed order — into S or out of it — and boundary counters are kept
+// current under place/unplace:
+//
+//	permCut   edges between an S-node and a decided-out node
+//	inUnd     edges between an S-node and an undecided node
+//	permNbrs  decided-out nodes adjacent to S
+//	undWithIn undecided nodes adjacent to S
+//
+// At a completed leaf (|S| = k) every undecided node is implicitly out, so
+// the edge boundary is permCut + inUnd and the node boundary is
+// permNbrs + undWithIn — O(1) per leaf, where the previous engine rescanned
+// all n nodes and their edges. The two quantities have disjoint hot paths:
+// an edge search uses placeEdge/unplaceEdge and never touches inNbrs, a
+// node search uses placeNode/unplaceNode and never touches the edge
+// counters, so one state serves jobs of either kind back to back.
+type expState struct {
+	g      *graph.Graph
+	order  []int32
+	assign []int8
+	inNbrs []int32 // per node: number of incident edges whose other end is in S
+	maxDeg int
+
+	chosen    int
+	permCut   int
+	inUnd     int
+	permNbrs  int
+	undWithIn int
+}
+
+func newExpState(g *graph.Graph, order []int32) *expState {
+	st := &expState{
+		g:      g,
+		order:  order,
+		assign: make([]int8, g.N()),
+		inNbrs: make([]int32, g.N()),
+		maxDeg: g.MaxDegree(),
+	}
+	for i := range st.assign {
+		st.assign[i] = unassigned
+	}
+	return st
+}
+
+func (st *expState) place(v int, s int8, edge bool) {
+	if edge {
+		st.placeEdge(v, s)
+	} else {
+		st.placeNode(v, s)
+	}
+}
+
+func (st *expState) unplace(v int, edge bool) {
+	if edge {
+		st.unplaceEdge(v)
+	} else {
+		st.unplaceNode(v)
+	}
+}
+
+// placeEdge decides the currently undecided node v for an edge-boundary
+// search. Placements must be undone in LIFO order (see unplaceEdge): the
+// counter updates assume the rest of the decided set is exactly as it was
+// at place time.
+func (st *expState) placeEdge(v int, s int8) {
+	if s == sideS {
+		for _, u := range st.g.Neighbors(v) {
+			switch st.assign[u] {
+			case unassigned:
+				st.inUnd++
+			case sideS:
+				st.inUnd-- // the edge was S(u)–undecided(v); now internal
+			default:
+				st.permCut++
+			}
+		}
+		st.chosen++
+	} else {
+		for _, u := range st.g.Neighbors(v) {
+			if st.assign[u] == sideS {
+				st.inUnd--
+				st.permCut++
+			}
+		}
+	}
+	st.assign[v] = s
+}
+
+// unplaceEdge reverses the most recent placeEdge of v.
+func (st *expState) unplaceEdge(v int) {
+	s := st.assign[v]
+	st.assign[v] = unassigned
+	if s == sideS {
+		st.chosen--
+		for _, u := range st.g.Neighbors(v) {
+			switch st.assign[u] {
+			case unassigned:
+				st.inUnd--
+			case sideS:
+				st.inUnd++
+			default:
+				st.permCut--
+			}
+		}
+	} else {
+		for _, u := range st.g.Neighbors(v) {
+			if st.assign[u] == sideS {
+				st.inUnd++
+				st.permCut--
+			}
+		}
+	}
+}
+
+// placeNode decides the currently undecided node v for a neighbor-set
+// search. Out-placements are O(1): only v's own membership in the
+// neighbor-set counters changes.
+func (st *expState) placeNode(v int, s int8) {
+	if s == sideS {
+		if st.inNbrs[v] > 0 {
+			st.undWithIn--
+		}
+		for _, u := range st.g.Neighbors(v) {
+			st.inNbrs[u]++
+			if st.inNbrs[u] == 1 {
+				switch st.assign[u] {
+				case unassigned:
+					st.undWithIn++
+				case sideSbar:
+					st.permNbrs++
+				}
+			}
+		}
+		st.chosen++
+	} else if st.inNbrs[v] > 0 {
+		st.undWithIn--
+		st.permNbrs++
+	}
+	st.assign[v] = s
+}
+
+// unplaceNode reverses the most recent placeNode of v.
+func (st *expState) unplaceNode(v int) {
+	s := st.assign[v]
+	st.assign[v] = unassigned
+	if s == sideS {
+		st.chosen--
+		for _, u := range st.g.Neighbors(v) {
+			st.inNbrs[u]--
+			if st.inNbrs[u] == 0 {
+				switch st.assign[u] {
+				case unassigned:
+					st.undWithIn--
+				case sideSbar:
+					st.permNbrs--
+				}
+			}
+		}
+		if st.inNbrs[v] > 0 {
+			st.undWithIn++
+		}
+	} else if st.inNbrs[v] > 0 {
+		st.undWithIn++
+		st.permNbrs--
+	}
+}
+
+// edgeLB is an admissible lower bound on the final edge boundary: permCut
+// never decreases, and each of the k−chosen future S-placements removes at
+// most maxDeg edges from permCut+inUnd (out-placements only move edges
+// from inUnd to permCut).
+func (st *expState) edgeLB(k int) int {
+	lb := st.permCut + st.inUnd - (k-st.chosen)*st.maxDeg
+	if lb < st.permCut {
+		lb = st.permCut
+	}
+	return lb
+}
+
+// nodeLB is the node-boundary analogue: placing a future node into S
+// removes at most that node itself from permNbrs+undWithIn, and
+// out-placements only move nodes from undWithIn to permNbrs.
+func (st *expState) nodeLB(k int) int {
+	lb := st.permNbrs + st.undWithIn - (k - st.chosen)
+	if lb < st.permNbrs {
+		lb = st.permNbrs
+	}
+	return lb
+}
+
+// sharedExpBound is the incumbent of one expansion search. best is read
+// lock-free on every prune check; improvements take the mutex so the bound
+// and the witness set stay consistent. The same structure serves the serial
+// searches (where the atomics are uncontended) and the parallel workers.
+type sharedExpBound struct {
+	best atomic.Int64
+	mu   sync.Mutex
+	set  []int
+}
+
+func (sb *sharedExpBound) record(val int, assign []int8) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if int64(val) >= sb.best.Load() {
+		return // someone else got there first
+	}
+	sb.best.Store(int64(val))
+	set := sb.set[:0]
+	for v, a := range assign {
+		if a == sideS {
+			set = append(set, v)
+		}
+	}
+	sb.set = set
+}
+
+// dfsEdgeExpansion explores all decisions for order[idx:] given the prefix
+// already placed in st, recording edge-boundary improvements over sb.best.
+// rootForced skips the exclude branch at idx 0 (the Containing variants).
+func dfsEdgeExpansion(st *expState, idx, k int, rootForced bool, sb *sharedExpBound) {
+	if st.edgeLB(k) >= int(sb.best.Load()) {
+		return
+	}
+	if st.chosen == k {
+		sb.record(st.permCut+st.inUnd, st.assign)
+		return
+	}
+	n := st.g.N()
+	if idx == n || st.chosen+(n-idx) < k {
+		return
+	}
+	v := int(st.order[idx])
+
+	st.placeEdge(v, sideS)
+	dfsEdgeExpansion(st, idx+1, k, rootForced, sb)
+	st.unplaceEdge(v)
+
+	if rootForced && idx == 0 {
+		return
+	}
+	st.placeEdge(v, sideSbar)
+	dfsEdgeExpansion(st, idx+1, k, rootForced, sb)
+	st.unplaceEdge(v)
+}
+
+// dfsNodeExpansion is the neighbor-set analogue of dfsEdgeExpansion.
+func dfsNodeExpansion(st *expState, idx, k int, rootForced bool, sb *sharedExpBound) {
+	if st.nodeLB(k) >= int(sb.best.Load()) {
+		return
+	}
+	if st.chosen == k {
+		sb.record(st.permNbrs+st.undWithIn, st.assign)
+		return
+	}
+	n := st.g.N()
+	if idx == n || st.chosen+(n-idx) < k {
+		return
+	}
+	v := int(st.order[idx])
+
+	st.placeNode(v, sideS)
+	dfsNodeExpansion(st, idx+1, k, rootForced, sb)
+	st.unplaceNode(v)
+
+	if rootForced && idx == 0 {
+		return
+	}
+	st.placeNode(v, sideSbar)
+	dfsNodeExpansion(st, idx+1, k, rootForced, sb)
+	st.unplaceNode(v)
+}
+
+func dfsExpansion(st *expState, idx, k int, edge, rootForced bool, sb *sharedExpBound) {
+	if edge {
+		dfsEdgeExpansion(st, idx, k, rootForced, sb)
+	} else {
+		dfsNodeExpansion(st, idx, k, rootForced, sb)
+	}
+}
