@@ -216,12 +216,65 @@ func BenchmarkExpansionSurvey(b *testing.B) {
 
 func BenchmarkRouting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := core.RandomRoutingExperiment(32, int64(i))
-		if r.Steps < r.BisectionBound {
-			b.Fatalf("steps %d below bound %d", r.Steps, r.BisectionBound)
+		r := core.RandomRoutingExperiment(32, int64(i), core.RoutingOptions{})
+		if r.Stats.MinBound > 0 && r.Stats.MinRatio < 1 {
+			b.Fatalf("steps below certified bound: %+v", r.Stats)
 		}
 	}
 }
+
+// BenchmarkRoutingSingleTrial{Map,Flat} measure one B7 random-destination
+// trial on the seed tree's map-based engine vs the flat directed-edge-CSR
+// engine (the acceptance target is ≥5× with ~zero steady-state allocs).
+func BenchmarkRoutingSingleTrialMap(b *testing.B) {
+	bt := topology.NewButterfly(128)
+	ref := construct.BestPlan(128).Build(bt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := route.SimulateRandomDestinationsReference(bt, ref, int64(i))
+		if r.Steps < r.CongestionBound {
+			b.Fatalf("steps %d below bound %d", r.Steps, r.CongestionBound)
+		}
+	}
+}
+
+func BenchmarkRoutingSingleTrialFlat(b *testing.B) {
+	bt := topology.NewButterfly(128)
+	ref := construct.BestPlan(128).Build(bt)
+	route.SimulateRandomDestinations(bt, ref, 0) // warm index cache + state pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := route.SimulateRandomDestinations(bt, ref, int64(i))
+		if r.Steps < r.CongestionBound {
+			b.Fatalf("steps %d below bound %d", r.Steps, r.CongestionBound)
+		}
+	}
+}
+
+// BenchmarkRoutingManyParallel{B7,B9} measure multi-trial Monte-Carlo
+// throughput of the worker-pool runner in routed packets per second.
+func benchRoutingMany(b *testing.B, n, trials int) {
+	bt := topology.NewButterfly(n)
+	ref := construct.BestPlan(n).Build(bt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var packets int64
+	for i := 0; i < b.N; i++ {
+		stats := route.SimulateMany(bt, ref, route.RandomDestinations,
+			route.ManyOptions{Trials: trials, Seed: int64(i)})
+		if stats.MinRatio < 1 {
+			b.Fatalf("a trial beat its certified bound: %+v", stats)
+		}
+		packets += stats.TotalPackets
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "packets/s")
+}
+
+func BenchmarkRoutingManyParallelB7(b *testing.B) { benchRoutingMany(b, 128, 32) }
+
+func BenchmarkRoutingManyParallelB9(b *testing.B) { benchRoutingMany(b, 512, 16) }
 
 // --- E9: Beneš looping algorithm (Lemma 2.5 substrate) ---
 

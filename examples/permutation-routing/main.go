@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("Beneš(64): bit-reversal permutation edge-disjoint: %v\n", ok)
 
 	// 2. Butterfly routing under load: random destinations vs the
-	//    bisection bound of §1.2.
+	//    bisection bound of §1.2, one trial in detail first.
 	b := topology.NewButterfly(64)
 	ref := construct.BestPlan(64).Build(b)
 	res := route.SimulateRandomDestinations(b, ref, 11)
@@ -51,4 +51,17 @@ func main() {
 	fmt.Printf("  %d routes cross the bisection (capacity %d): time ≥ ⌈%d/%d⌉ = %d steps\n",
 		res.CutCrossings, ref.Capacity(), res.CutCrossings, ref.Capacity(), res.CongestionBound)
 	fmt.Printf("  worst queue: %d packets\n", res.MaxQueue)
+
+	// 3. The Monte-Carlo view: 200 independently seeded trials over a
+	//    worker pool say how tight the bound is on average, not just once.
+	stats := route.SimulateMany(b, ref, route.RandomDestinations,
+		route.ManyOptions{Trials: 200, Seed: 11, TightFactor: 4})
+	fmt.Printf("\nB64, %d random-destination trials:\n", stats.Trials)
+	fmt.Printf("  steps min/mean/max: %d/%.1f/%d  (bound mean %.1f)\n",
+		stats.MinSteps, stats.MeanSteps, stats.MaxSteps, stats.MeanBound)
+	fmt.Printf("  steps/bound ratio min/mean/max: %.2f/%.2f/%.2f\n",
+		stats.MinRatio, stats.MeanRatio, stats.MaxRatio)
+	fmt.Printf("  trials within %.0f× of the §1.2 bound: %d/%d\n",
+		stats.TightFactor, stats.TightTrials, stats.Trials)
+	fmt.Printf("  worst queue over all trials: %d packets\n", stats.MaxQueuePeak)
 }

@@ -206,19 +206,30 @@ func TestBenesRearrangeability(t *testing.T) {
 }
 
 func TestRoutingExperiments(t *testing.T) {
-	r := RandomRoutingExperiment(8, 3)
-	if r.Steps < r.BisectionBound {
-		t.Errorf("steps %d below certified bound %d", r.Steps, r.BisectionBound)
+	r := RandomRoutingExperiment(8, 3, RoutingOptions{Trials: 8, Workers: 2})
+	if r.Trials != 8 {
+		t.Errorf("ran %d trials, want 8", r.Trials)
 	}
-	if r.Packets == 0 || r.CutCapacity == 0 {
+	if r.Stats.MinRatio < 1 {
+		t.Errorf("a trial beat its certified bound: min steps/bound ratio %v", r.Stats.MinRatio)
+	}
+	if r.Stats.TotalPackets == 0 || r.CutCapacity == 0 {
 		t.Errorf("degenerate run: %+v", r)
 	}
-	p := PermutationRoutingExperiment(8, 3)
-	if p.Steps < p.BisectionBound {
-		t.Errorf("permutation steps %d below bound %d", p.Steps, p.BisectionBound)
+	p := PermutationRoutingExperiment(8, 3, RoutingOptions{Trials: 4})
+	if p.Stats.TotalPackets != 4*8 {
+		t.Errorf("permutation trials routed %d packets, want %d", p.Stats.TotalPackets, 4*8)
+	}
+	if p.Stats.MinBound > 0 && p.Stats.MinRatio < 1 {
+		t.Errorf("permutation trial beat its bound: %+v", p.Stats)
+	}
+	// Single-trial default matches the flat engine's single-trial run.
+	single := RandomRoutingExperiment(8, 3, RoutingOptions{})
+	if single.Trials != 1 {
+		t.Errorf("zero options ran %d trials", single.Trials)
 	}
 	out := RenderRoutingTable("routing", []RoutingReport{r, p})
-	if !strings.Contains(out, "crossings") {
-		t.Errorf("table missing header:\n%s", out)
+	if !strings.Contains(out, "crossings") || !strings.Contains(out, "steps/bound") {
+		t.Errorf("table missing aggregate headers:\n%s", out)
 	}
 }

@@ -83,9 +83,9 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
 	var random []RoutingReport
 	for _, n := range []int{8, 16, 32, 64} {
-		random = append(random, RandomRoutingExperiment(n, opts.Seed))
+		random = append(random, RandomRoutingExperiment(n, opts.Seed, RoutingOptions{Trials: 25}))
 	}
-	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn", random))
+	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn (25 trials/row)", random))
 
 	fmt.Fprintln(w, "\n=== E9: Beneš rearrangeability (Lemma 2.5 substrate) ===")
 	for _, n := range []int{8, 64, 256} {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/construct"
@@ -9,66 +10,81 @@ import (
 	"repro/internal/topology"
 )
 
-// RoutingReport is one run of the §1.2 experiment (E8): random-destination
-// routing on Bn measured against the bisection-width bound
-// time ≥ crossings / C(S,S̄).
+// RoutingOptions configures the Monte-Carlo side of the §1.2 experiments.
+// The zero value runs a single trial on all available cores.
+type RoutingOptions struct {
+	// Trials is the number of independently seeded trials per row (≤0: 1).
+	Trials int
+	// Workers is the number of parallel trial workers (≤0: GOMAXPROCS).
+	Workers int
+}
+
+// RoutingReport is one row of the §1.2 experiment (E8): multi-trial
+// random-destination (or random-permutation) routing on Bn measured
+// against the bisection-width bound time ≥ crossings / C(S,S̄).
 type RoutingReport struct {
-	N            int
-	Packets      int
-	Steps        int
-	CutCapacity  int
-	CutCrossings int
-	// BisectionBound is the certified floor ⌈crossings/capacity⌉ on Steps.
-	BisectionBound int
-	MaxQueue       int
+	N           int
+	Trials      int
+	CutCapacity int
+	// Stats aggregates the trials: min/mean/max steps, the certified
+	// congestion bounds, steps/bound ratios and the tightness count.
+	Stats route.TrialStats
 }
 
 // RandomRoutingExperiment runs the E8 simulation on Bn against the best
-// constructed bisection.
-func RandomRoutingExperiment(n int, seed int64) RoutingReport {
+// constructed bisection: opt.Trials independently seeded trials derived
+// from seed, fanned over opt.Workers workers.
+func RandomRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingReport {
+	return routingExperiment(n, seed, route.RandomDestinations, opt)
+}
+
+// PermutationRoutingExperiment routes random permutations input→output on
+// Bn along monotone paths, with the same trials/workers fan-out.
+func PermutationRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingReport {
+	return routingExperiment(n, seed, route.RandomPermutations, opt)
+}
+
+func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptions) RoutingReport {
 	b := topology.NewButterfly(n)
 	plan := construct.BestPlan(n)
 	ref := plan.Build(b)
-	res := route.SimulateRandomDestinations(b, ref, seed)
+	stats := route.SimulateMany(b, ref, kind, route.ManyOptions{
+		Trials:  opt.Trials,
+		Workers: opt.Workers,
+		Seed:    seed,
+		// Greedy store-and-forward empirically sits 3–5× above the §1.2
+		// floor, so a 4× threshold splits the trial distribution instead
+		// of counting all or nothing.
+		TightFactor: 4,
+	})
 	return RoutingReport{
-		N:              n,
-		Packets:        res.Packets,
-		Steps:          res.Steps,
-		CutCapacity:    ref.Capacity(),
-		CutCrossings:   res.CutCrossings,
-		BisectionBound: res.CongestionBound,
-		MaxQueue:       res.MaxQueue,
+		N:           n,
+		Trials:      stats.Trials,
+		CutCapacity: ref.Capacity(),
+		Stats:       stats,
 	}
 }
 
-// PermutationRoutingExperiment routes a random permutation input→output on
-// Bn along monotone paths.
-func PermutationRoutingExperiment(n int, seed int64) RoutingReport {
-	b := topology.NewButterfly(n)
-	plan := construct.BestPlan(n)
-	ref := plan.Build(b)
-	rng := rand.New(rand.NewSource(seed))
-	res, err := route.SimulatePermutation(b, ref, rng.Perm(n))
-	if err != nil {
-		panic(err) // rng.Perm always yields a valid permutation
-	}
-	return RoutingReport{
-		N:              n,
-		Packets:        res.Packets,
-		Steps:          res.Steps,
-		CutCapacity:    ref.Capacity(),
-		CutCrossings:   res.CutCrossings,
-		BisectionBound: res.CongestionBound,
-		MaxQueue:       res.MaxQueue,
-	}
-}
-
-// RenderRoutingTable renders E8 reports.
+// RenderRoutingTable renders E8 reports with per-row trial aggregates.
 func RenderRoutingTable(title string, reports []RoutingReport) string {
+	tightHeader := "tight"
+	if len(reports) > 0 && reports[0].Stats.TightFactor > 0 {
+		tightHeader = fmt.Sprintf("tight ≤%g×", reports[0].Stats.TightFactor)
+	}
 	t := tablefmt.New(title,
-		"n", "packets", "steps", "cut capacity", "crossings", "bound steps≥", "max queue")
+		"n", "trials", "packets", "steps min/mean/max", "cut capacity",
+		"crossings", "bound steps≥", "steps/bound", tightHeader, "max queue")
 	for _, r := range reports {
-		t.AddRow(r.N, r.Packets, r.Steps, r.CutCapacity, r.CutCrossings, r.BisectionBound, r.MaxQueue)
+		s := r.Stats
+		t.AddRow(r.N, r.Trials,
+			fmt.Sprintf("%.1f", s.MeanPackets),
+			fmt.Sprintf("%d/%.1f/%d", s.MinSteps, s.MeanSteps, s.MaxSteps),
+			r.CutCapacity,
+			fmt.Sprintf("%.1f", s.MeanCrossings),
+			fmt.Sprintf("%d/%.1f/%d", s.MinBound, s.MeanBound, s.MaxBound),
+			fmt.Sprintf("%.2f", s.MeanRatio),
+			fmt.Sprintf("%d/%d", s.TightTrials, s.Trials),
+			s.MaxQueuePeak)
 	}
 	return t.String()
 }

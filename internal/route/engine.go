@@ -1,0 +1,391 @@
+package route
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bitutil"
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// simState is the reusable scratch of the flat routing engine. Paths are
+// compiled into flat directed-edge-id sequences, per-edge FIFO queues are
+// intrusive linked lists over a single qNext array, and the set of busy
+// edges is a bitset iterated in id order — so one state, once warmed,
+// runs any number of trials on the same butterfly without allocating.
+type simState struct {
+	b  *topology.Butterfly
+	ix *dirIndex
+
+	// Cut accounting, set per call by setCut.
+	crossing []bool // per directed edge: endpoints on opposite sides
+	capacity int
+	haveCut  bool
+
+	// Compiled paths: packet p follows pathEdges[pathStart[p]:pathStart[p+1]].
+	pathStart []int32
+	pathEdges []int32
+	npaths    int
+	prev      int // last node seen by hop, -1 at a path start
+
+	// Per-packet state.
+	pos   []int32 // index of the packet's current edge within its sequence
+	qNext []int32 // next packet in the same FIFO queue
+
+	// Per-directed-edge FIFO queues plus the busy-edge bitset.
+	qHead, qTail []int32
+	qLen         []int32
+	active       []uint64
+	moves        []int32 // per-step snapshot of busy edge ids, reused
+
+	src  rand.Source64
+	rng  *rand.Rand
+	perm []int
+
+	// dirty marks a state whose queues may be non-empty (a run panicked
+	// mid-flight); such states are not returned to the pool.
+	dirty bool
+}
+
+// bind points the state at a butterfly, growing (never shrinking the
+// capacity of) its arrays and clearing the queue state.
+func (st *simState) bind(b *topology.Butterfly) {
+	ix := indexFor(b)
+	st.b, st.ix = b, ix
+	e := ix.numDir()
+	if cap(st.qHead) < e {
+		st.qHead = make([]int32, e)
+		st.qTail = make([]int32, e)
+		st.qLen = make([]int32, e)
+		st.crossing = make([]bool, e)
+		st.active = make([]uint64, (e+63)/64)
+		st.moves = make([]int32, 0, e)
+	}
+	st.qHead = st.qHead[:e]
+	st.qTail = st.qTail[:e]
+	st.qLen = st.qLen[:e]
+	st.crossing = st.crossing[:e]
+	st.active = st.active[:(e+63)/64]
+	for i := range st.qLen {
+		st.qLen[i] = 0
+	}
+	for i := range st.active {
+		st.active[i] = 0
+	}
+	maxP := b.N()
+	if cap(st.pos) < maxP {
+		st.pos = make([]int32, maxP)
+		st.qNext = make([]int32, maxP)
+	}
+	st.pos = st.pos[:maxP]
+	st.qNext = st.qNext[:maxP]
+	if st.rng == nil {
+		st.src = rand.NewSource(1).(rand.Source64)
+		st.rng = rand.New(st.src)
+	}
+	st.dirty = false
+}
+
+// setCut installs the reference cut for §1.2 accounting (nil disables it).
+func (st *simState) setCut(ref *cut.Cut) {
+	if ref == nil {
+		st.haveCut = false
+		return
+	}
+	st.haveCut = true
+	st.capacity = ref.Capacity()
+	for v := 0; v < st.ix.nodes; v++ {
+		inS := ref.InS(v)
+		for e := st.ix.start[v]; e < st.ix.start[v+1]; e++ {
+			st.crossing[e] = inS != ref.InS(int(st.ix.to[e]))
+		}
+	}
+}
+
+func (st *simState) resetPaths() {
+	st.pathStart = append(st.pathStart[:0], 0)
+	st.pathEdges = st.pathEdges[:0]
+	st.npaths = 0
+}
+
+func (st *simState) beginPath() { st.prev = -1 }
+
+// hop extends the current path to node, compressing zero-length legs
+// (consecutive duplicate nodes) exactly like the reference engine.
+func (st *simState) hop(node int) {
+	if node == st.prev {
+		return
+	}
+	if st.prev >= 0 {
+		st.pathEdges = append(st.pathEdges, st.ix.edgeID(int32(st.prev), int32(node)))
+	}
+	st.prev = node
+}
+
+func (st *simState) endPath() {
+	st.pathStart = append(st.pathStart, int32(len(st.pathEdges)))
+	st.npaths++
+}
+
+// compileRandomDestinations draws one uniform destination per node of Bn
+// (self-messages use no edges and are skipped) and compiles the three-leg
+// up/across/down routes. The RNG consumption matches the reference engine
+// draw for draw, so equal seeds give identical trials.
+func (st *simState) compileRandomDestinations(seed int64) {
+	if st.b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	st.src.Seed(seed)
+	st.resetPaths()
+	n := st.b.N()
+	for v := 0; v < n; v++ {
+		dst := st.rng.Intn(n)
+		if dst == v {
+			continue
+		}
+		st.beginPath()
+		st.threeLeg(v, dst)
+		st.endPath()
+	}
+}
+
+// compileRandomDestinationsWrapped is the Wn analogue, following the
+// Theorem 4.3 three-leg shape.
+func (st *simState) compileRandomDestinationsWrapped(seed int64) {
+	if !st.b.Wraparound() {
+		panic("route: wrapped simulator targets Wn")
+	}
+	st.src.Seed(seed)
+	st.resetPaths()
+	n := st.b.N()
+	for v := 0; v < n; v++ {
+		dst := st.rng.Intn(n)
+		if dst == v {
+			continue
+		}
+		st.beginPath()
+		st.threeLeg(v, dst)
+		st.endPath()
+	}
+}
+
+// compilePermutation compiles the monotone Lemma 2.3 routes of an
+// input→output permutation on Bn.
+func (st *simState) compilePermutation(perm []int) error {
+	if st.b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	if err := checkPermutation(perm, st.b.Inputs()); err != nil {
+		return err
+	}
+	st.resetPaths()
+	for w, q := range perm {
+		st.beginPath()
+		st.monotone(w, q)
+		st.endPath()
+	}
+	return nil
+}
+
+// compileRandomPermutation draws a uniform permutation with the same
+// Fisher–Yates sequence as rand.Perm (so seeds reproduce the experiments'
+// draws) into a reusable buffer, then compiles its monotone routes.
+func (st *simState) compileRandomPermutation(seed int64) {
+	if st.b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	st.src.Seed(seed)
+	n := st.b.Inputs()
+	if cap(st.perm) < n {
+		st.perm = make([]int, n)
+	}
+	p := st.perm[:n]
+	for i := 0; i < n; i++ {
+		j := st.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	if err := st.compilePermutation(p); err != nil {
+		panic(err) // the buffer is a valid permutation by construction
+	}
+}
+
+// threeLeg walks the three-leg route: up the source column to level 0,
+// across the (rotated, for Wn) monotone path, down the destination column.
+// b.Node's level wraparound makes the same walk serve Bn (threeLegPath)
+// and Wn (the Theorem 4.3 shape with start level 0).
+func (st *simState) threeLeg(u, v int) {
+	b, d := st.b, st.b.Dim()
+	wu, iu := b.Column(u), b.Level(u)
+	wv, iv := b.Column(v), b.Level(v)
+	for l := iu; l >= 0; l-- {
+		st.hop(b.Node(wu, l))
+	}
+	w := wu
+	for i := 0; i < d; i++ {
+		if bitutil.Bit(w, d, i+1) != bitutil.Bit(wv, d, i+1) {
+			w = bitutil.FlipBit(w, d, i+1)
+		}
+		st.hop(b.Node(w, i+1))
+	}
+	for l := d - 1; l >= iv; l-- {
+		st.hop(b.Node(wv, l))
+	}
+}
+
+// monotone walks the unique level-increasing path from input w0 to output w1.
+func (st *simState) monotone(w0, w1 int) {
+	b, d := st.b, st.b.Dim()
+	w := w0
+	st.hop(b.Node(w, 0))
+	for i := 0; i < d; i++ {
+		if bitutil.Bit(w, d, i+1) != bitutil.Bit(w1, d, i+1) {
+			w = bitutil.FlipBit(w, d, i+1)
+		}
+		st.hop(b.Node(w, i+1))
+	}
+}
+
+// push appends packet pk to edge e's FIFO queue.
+func (st *simState) push(e, pk int32) {
+	if st.qLen[e] == 0 {
+		st.qHead[e] = pk
+		st.active[e>>6] |= 1 << uint(e&63)
+	} else {
+		st.qNext[st.qTail[e]] = pk
+	}
+	st.qTail[e] = pk
+	st.qNext[pk] = -1
+	st.qLen[e]++
+}
+
+// run executes the synchronous store-and-forward model on the compiled
+// paths until every packet arrives. Each step snapshots the busy edges in
+// increasing id order, then forwards one packet per edge in that same
+// order — the deterministic schedule the reference engine sorts for.
+func (st *simState) run(maxSteps int) SimResult {
+	res := SimResult{Packets: st.npaths}
+	if st.haveCut {
+		for p := 0; p < st.npaths; p++ {
+			for e := st.pathStart[p]; e < st.pathStart[p+1]; e++ {
+				if st.crossing[st.pathEdges[e]] {
+					res.CutCrossings++
+					break
+				}
+			}
+		}
+		if c := st.capacity; c > 0 {
+			res.CongestionBound = (res.CutCrossings + c - 1) / c
+		}
+	}
+
+	st.dirty = true
+	remaining := 0
+	for p := 0; p < st.npaths; p++ {
+		st.pos[p] = 0
+		if st.pathStart[p] < st.pathStart[p+1] {
+			st.push(st.pathEdges[st.pathStart[p]], int32(p))
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		res.Steps++
+		if res.Steps > maxSteps {
+			panic(fmt.Sprintf("route: simulation did not converge within the %d-step limit", maxSteps))
+		}
+		moves := st.moves[:0]
+		for wi, word := range st.active {
+			base := int32(wi) << 6
+			for word != 0 {
+				e := base + int32(bits.TrailingZeros64(word))
+				word &= word - 1
+				if int(st.qLen[e]) > res.MaxQueue {
+					res.MaxQueue = int(st.qLen[e])
+				}
+				moves = append(moves, e)
+			}
+		}
+		st.moves = moves
+		for _, e := range moves {
+			pk := st.qHead[e]
+			st.qHead[e] = st.qNext[pk]
+			st.qLen[e]--
+			if st.qLen[e] == 0 {
+				st.active[e>>6] &^= 1 << uint(e&63)
+			}
+			remaining--
+			st.pos[pk]++
+			if next := st.pathStart[pk] + st.pos[pk]; next < st.pathStart[pk+1] {
+				st.push(st.pathEdges[next], pk)
+				remaining++
+			}
+		}
+	}
+	st.dirty = false
+	return res
+}
+
+// defaultMaxSteps is the non-convergence guard limit: any correct
+// synchronous schedule on N packets of ≤3·log n hops finishes far below it.
+func defaultMaxSteps(b *topology.Butterfly) int { return 64 * b.N() }
+
+// statePool recycles simulation states across calls and trials; a warmed
+// state runs a trial with zero allocations.
+var statePool sync.Pool
+
+func getState(b *topology.Butterfly) *simState {
+	st, _ := statePool.Get().(*simState)
+	if st == nil {
+		st = new(simState)
+	}
+	st.bind(b)
+	return st
+}
+
+func putState(st *simState) {
+	if !st.dirty {
+		statePool.Put(st)
+	}
+}
+
+// SimulateRandomDestinations routes one packet from every node of Bn to an
+// independently chosen uniform random node, along three-leg up/across/down
+// routes, under synchronous store-and-forward switching (one packet per
+// directed edge per step, FIFO queues). The reference cut supplies the
+// §1.2 accounting: the routing time is at least CutCrossings / C(S,S̄).
+// It runs on the flat engine and agrees with
+// SimulateRandomDestinationsReference result for result.
+func SimulateRandomDestinations(b *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+	st := getState(b)
+	defer putState(st)
+	st.setCut(ref)
+	st.compileRandomDestinations(seed)
+	return st.run(defaultMaxSteps(b))
+}
+
+// SimulateRandomDestinationsWrapped is the Wn analogue of
+// SimulateRandomDestinations: routes follow the Theorem 4.3 three-leg shape
+// (up the source column to level 0, the rotated monotone path into the
+// destination column, then down to the destination).
+func SimulateRandomDestinationsWrapped(w *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+	st := getState(w)
+	defer putState(st)
+	st.setCut(ref)
+	st.compileRandomDestinationsWrapped(seed)
+	return st.run(defaultMaxSteps(w))
+}
+
+// SimulatePermutation routes one packet from every input of Bn to output
+// perm[input] along the monotone paths of Lemma 2.3.
+func SimulatePermutation(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimResult, error) {
+	st := getState(b)
+	defer putState(st)
+	st.setCut(ref)
+	if err := st.compilePermutation(perm); err != nil {
+		return SimResult{}, err
+	}
+	return st.run(defaultMaxSteps(b)), nil
+}

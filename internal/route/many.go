@@ -1,0 +1,247 @@
+package route
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cut"
+	"repro/internal/topology"
+)
+
+// TrialKind selects the workload SimulateMany draws each trial from.
+type TrialKind int
+
+const (
+	// RandomDestinations routes one packet from every node of Bn to a
+	// uniform random node along three-leg up/across/down routes.
+	RandomDestinations TrialKind = iota
+	// WrappedRandomDestinations is the Wn analogue (Theorem 4.3 routes).
+	WrappedRandomDestinations
+	// RandomPermutations routes a uniform random input→output permutation
+	// of Bn along the monotone paths of Lemma 2.3.
+	RandomPermutations
+)
+
+func (k TrialKind) String() string {
+	switch k {
+	case RandomDestinations:
+		return "random destinations"
+	case WrappedRandomDestinations:
+		return "wrapped random destinations"
+	case RandomPermutations:
+		return "random permutations"
+	}
+	return fmt.Sprintf("TrialKind(%d)", int(k))
+}
+
+// ManyOptions configures SimulateMany. The zero value runs one trial on
+// all available cores with the default step limit and tightness factor 2.
+type ManyOptions struct {
+	// Trials is the number of independently seeded trials (≤0: 1).
+	Trials int
+	// Workers is the number of worker goroutines (≤0: GOMAXPROCS).
+	Workers int
+	// Seed is the base seed; trial t runs on TrialSeed(Seed, t), so the
+	// aggregate is reproducible at any worker count.
+	Seed int64
+	// MaxSteps bounds each trial's simulated time (≤0: 64·N, far above
+	// any convergent schedule). Exceeding it panics, naming the limit.
+	MaxSteps int
+	// TightFactor is the §1.2 tightness threshold: a trial is counted
+	// tight when Steps ≤ TightFactor · CongestionBound (≤0: 2).
+	TightFactor float64
+}
+
+// TrialStats aggregates the Monte-Carlo trials of one SimulateMany call.
+// Ratios compare simulated Steps against the certified congestion bound
+// ⌈crossings/capacity⌉, the per-trial form of the §1.2 lower bound
+// time ≥ N/(4·BW); ratio fields stay zero when no trial had a positive
+// bound (e.g. with a nil reference cut).
+type TrialStats struct {
+	Trials int
+
+	TotalPackets int64
+	MeanPackets  float64
+
+	MinSteps, MaxSteps int
+	MeanSteps          float64
+
+	MeanCrossings float64
+
+	MinBound, MaxBound int
+	MeanBound          float64
+
+	// MinRatio/MeanRatio/MaxRatio summarize Steps/CongestionBound over
+	// the trials with a positive bound.
+	MinRatio, MeanRatio, MaxRatio float64
+
+	// TightTrials counts trials with Steps ≤ TightFactor·CongestionBound:
+	// runs where greedy store-and-forward sits within TightFactor of the
+	// bisection bound.
+	TightFactor float64
+	TightTrials int
+
+	// MaxQueuePeak/MeanMaxQueue/MaxQueueHist describe the distribution of
+	// the per-trial worst queue length.
+	MaxQueuePeak int
+	MeanMaxQueue float64
+	MaxQueueHist map[int]int
+}
+
+// TrialSeed derives the seed of trial t from a base seed (a splitmix64
+// step), so individual trials of a SimulateMany aggregate can be replayed
+// through the single-trial entry points.
+func TrialSeed(base int64, trial int) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// SimulateMany fans opt.Trials independently seeded trials of kind over a
+// worker pool. Each worker owns one reusable simState, so the steady state
+// allocates nothing per trial; results land in a per-trial slice indexed
+// by trial number, so the aggregate is byte-identical at any worker count.
+func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyOptions) TrialStats {
+	switch kind {
+	case RandomDestinations, RandomPermutations:
+		if b.Wraparound() {
+			panic("route: simulator targets Bn")
+		}
+	case WrappedRandomDestinations:
+		if !b.Wraparound() {
+			panic("route: wrapped simulator targets Wn")
+		}
+	default:
+		panic(fmt.Sprintf("route: unknown trial kind %d", int(kind)))
+	}
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps(b)
+	}
+	tight := opt.TightFactor
+	if tight <= 0 {
+		tight = 2
+	}
+
+	results := make([]SimResult, trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			st := getState(b)
+			defer putState(st)
+			st.setCut(ref)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				seed := TrialSeed(opt.Seed, t)
+				switch kind {
+				case RandomDestinations:
+					st.compileRandomDestinations(seed)
+				case WrappedRandomDestinations:
+					st.compileRandomDestinationsWrapped(seed)
+				case RandomPermutations:
+					st.compileRandomPermutation(seed)
+				}
+				results[t] = st.run(maxSteps)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return aggregateTrials(results, tight)
+}
+
+func aggregateTrials(results []SimResult, tight float64) TrialStats {
+	s := TrialStats{
+		Trials:       len(results),
+		TightFactor:  tight,
+		MaxQueueHist: make(map[int]int),
+		MinSteps:     results[0].Steps,
+		MinBound:     results[0].CongestionBound,
+	}
+	var sumSteps, sumCross, sumBound, sumQueue int64
+	var sumRatio float64
+	ratios := 0
+	for _, r := range results {
+		s.TotalPackets += int64(r.Packets)
+		sumSteps += int64(r.Steps)
+		sumCross += int64(r.CutCrossings)
+		sumBound += int64(r.CongestionBound)
+		sumQueue += int64(r.MaxQueue)
+		if r.Steps < s.MinSteps {
+			s.MinSteps = r.Steps
+		}
+		if r.Steps > s.MaxSteps {
+			s.MaxSteps = r.Steps
+		}
+		if r.CongestionBound < s.MinBound {
+			s.MinBound = r.CongestionBound
+		}
+		if r.CongestionBound > s.MaxBound {
+			s.MaxBound = r.CongestionBound
+		}
+		if r.MaxQueue > s.MaxQueuePeak {
+			s.MaxQueuePeak = r.MaxQueue
+		}
+		s.MaxQueueHist[r.MaxQueue]++
+		if r.CongestionBound > 0 {
+			ratio := float64(r.Steps) / float64(r.CongestionBound)
+			if ratios == 0 || ratio < s.MinRatio {
+				s.MinRatio = ratio
+			}
+			if ratio > s.MaxRatio {
+				s.MaxRatio = ratio
+			}
+			sumRatio += ratio
+			ratios++
+			if float64(r.Steps) <= tight*float64(r.CongestionBound) {
+				s.TightTrials++
+			}
+		}
+	}
+	n := float64(len(results))
+	s.MeanPackets = float64(s.TotalPackets) / n
+	s.MeanSteps = float64(sumSteps) / n
+	s.MeanCrossings = float64(sumCross) / n
+	s.MeanBound = float64(sumBound) / n
+	s.MeanMaxQueue = float64(sumQueue) / n
+	if ratios > 0 {
+		s.MeanRatio = sumRatio / float64(ratios)
+	}
+	return s
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package route
+
+// raceEnabled lets allocation-count tests skip themselves: the race
+// detector's instrumentation allocates on its own.
+const raceEnabled = true

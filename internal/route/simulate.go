@@ -1,5 +1,10 @@
 package route
 
+// This file keeps the original map-based store-and-forward simulator as a
+// reference implementation. The flat engine in engine.go is the production
+// path; the functions here exist so tests and benchmarks can cross-check
+// the two result for result and measure the speedup.
+
 import (
 	"fmt"
 	"math/rand"
@@ -27,12 +32,10 @@ type SimResult struct {
 	MaxQueue int
 }
 
-// SimulateRandomDestinations routes one packet from every node of Bn to an
-// independently chosen uniform random node, along three-leg up/across/down
-// routes, under synchronous store-and-forward switching (one packet per
-// directed edge per step, FIFO queues). The reference cut supplies the
-// §1.2 accounting: the routing time is at least CutCrossings / C(S,S̄).
-func SimulateRandomDestinations(b *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+// SimulateRandomDestinationsReference is the map-based reference
+// implementation of SimulateRandomDestinations, kept for cross-checking
+// and old-vs-new benchmarks.
+func SimulateRandomDestinationsReference(b *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
 	if b.Wraparound() {
 		panic("route: simulator targets Bn")
 	}
@@ -46,14 +49,14 @@ func SimulateRandomDestinations(b *topology.Butterfly, ref *cut.Cut, seed int64)
 		}
 		paths = append(paths, threeLegPath(b, v, dst))
 	}
-	return simulate(b, ref, paths)
+	return simulateReference(b, ref, paths)
 }
 
-// SimulateRandomDestinationsWrapped is the Wn analogue of
-// SimulateRandomDestinations: routes follow the Theorem 4.3 three-leg shape
-// (up the source column to level 0, the rotated monotone path into the
-// destination column, then down to the destination).
-func SimulateRandomDestinationsWrapped(w *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
+// SimulateRandomDestinationsWrappedReference is the Wn analogue of
+// SimulateRandomDestinationsReference: routes follow the Theorem 4.3
+// three-leg shape (up the source column to level 0, the rotated monotone
+// path into the destination column, then down to the destination).
+func SimulateRandomDestinationsWrappedReference(w *topology.Butterfly, ref *cut.Cut, seed int64) SimResult {
 	if !w.Wraparound() {
 		panic("route: wrapped simulator targets Wn")
 	}
@@ -79,7 +82,7 @@ func SimulateRandomDestinationsWrapped(w *topology.Butterfly, ref *cut.Cut, seed
 		}
 		paths = append(paths, compressPath(path))
 	}
-	return simulate(w, ref, paths)
+	return simulateReference(w, ref, paths)
 }
 
 // compressPath removes consecutive duplicate nodes (legs of length 0).
@@ -93,9 +96,9 @@ func compressPath(p []int) []int {
 	return out
 }
 
-// SimulatePermutation routes one packet from every input of Bn to output
-// perm[input] along the monotone paths of Lemma 2.3.
-func SimulatePermutation(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimResult, error) {
+// SimulatePermutationReference is the map-based reference implementation
+// of SimulatePermutation.
+func SimulatePermutationReference(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimResult, error) {
 	if b.Wraparound() {
 		panic("route: simulator targets Bn")
 	}
@@ -106,7 +109,7 @@ func SimulatePermutation(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimRe
 	for w := range paths {
 		paths[w] = b.MonotonePath(w, perm[w])
 	}
-	return simulate(b, ref, paths), nil
+	return simulateReference(b, ref, paths), nil
 }
 
 // threeLegPath routes from u up its column to level 0, across the monotone
@@ -126,8 +129,11 @@ func threeLegPath(b *topology.Butterfly, u, v int) []int {
 	return path
 }
 
-// simulate runs the synchronous switch model until every packet arrives.
-func simulate(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
+// simulateReference runs the synchronous switch model until every packet
+// arrives, with per-edge queues keyed on a node-pair map and the busy
+// edges re-sorted every step. It is the semantic specification the flat
+// engine is cross-checked against.
+func simulateReference(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
 	res := SimResult{Packets: len(paths)}
 	if ref != nil {
 		for _, p := range paths {
@@ -138,8 +144,8 @@ func simulate(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
 				}
 			}
 		}
-		if cap := ref.Capacity(); cap > 0 {
-			res.CongestionBound = (res.CutCrossings + cap - 1) / cap
+		if capacity := ref.Capacity(); capacity > 0 {
+			res.CongestionBound = (res.CutCrossings + capacity - 1) / capacity
 		}
 	}
 
@@ -161,11 +167,12 @@ func simulate(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
 		enqueue(pk)
 	}
 
+	maxSteps := defaultMaxSteps(b)
 	for step := 0; remaining > 0; {
 		step++
 		res.Steps = step
-		if step > 64*b.N() {
-			panic(fmt.Sprintf("route: simulation did not converge after %d steps", step))
+		if step > maxSteps {
+			panic(fmt.Sprintf("route: simulation did not converge within the %d-step limit", maxSteps))
 		}
 		type move struct {
 			pk  int32
