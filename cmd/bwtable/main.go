@@ -3,9 +3,13 @@
 // cuts and certified lower bounds on larger ones, and the sub-n
 // construction sweep that refutes the folklore BW(Bn) = n.
 //
+// -timeout bounds the whole run: expiring mid-search degrades exact values
+// to best-found incumbents, flagged "no" in the exact? column, instead of
+// running forever. -progress streams solver telemetry to stderr.
+//
 // Usage:
 //
-//	bwtable [-exact-nodes N] [-max-log 20]
+//	bwtable [-exact-nodes N] [-max-log 20] [-timeout 0] [-progress] [-pprof addr]
 package main
 
 import (
@@ -13,19 +17,35 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
 func main() {
 	exactNodes := flag.Int("exact-nodes", 32, "run the exact solver on networks up to this many nodes")
 	maxLog := flag.Int("max-log", 20, "largest log n for the sub-n construction sweep")
+	long := cli.RegisterLongRun()
 	flag.Parse()
 
-	budget := core.BisectionBudget{ExactNodes: *exactNodes}
+	cli.Validate(
+		cli.NonNegative("exact-nodes", *exactNodes),
+		// Above 2^48 the plan search itself becomes the bottleneck; the
+		// constructor refuses, so reject the flag up front.
+		cli.Range("max-log", *maxLog, 0, 48),
+	)
+
+	ctx, cancel, onProgress := long.Start()
+	defer cancel()
+	budget := core.BisectionBudget{ExactNodes: *exactNodes, Ctx: ctx, OnProgress: onProgress}
 
 	var butterflies []core.BisectionReport
 	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
-		butterflies = append(butterflies, core.ButterflyBisection(n, budget))
+		r, err := core.ButterflyBisection(n, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bwtable: %v\n", err)
+			os.Exit(1)
+		}
+		butterflies = append(butterflies, r)
 	}
 	fmt.Print(core.RenderBisectionTable("BW(Bn): 2(√2−1)n + o(n), refuting folklore n (Thm 2.20)", butterflies))
 	fmt.Println()

@@ -6,17 +6,21 @@
 //
 // Exact optima come from the parallel witness-seeded branch-and-bound in
 // internal/exact; -workers sizes its pool and -kmax widens the set sizes it
-// is allowed to certify.
+// is allowed to certify. -timeout bounds the run: searches still open at
+// the deadline report their incumbent, flagged "no" in the exact? column.
+// -progress streams explored/pruned/incumbent telemetry to stderr.
 //
 // Usage:
 //
 //	exptable [-n 256] [-max-d 4] [-exact-nodes 32] [-kmax 8] [-workers 0]
+//	         [-timeout 0] [-progress] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
@@ -26,12 +30,25 @@ func main() {
 	exactNodes := flag.Int("exact-nodes", 32, "exact enumeration budget (node count)")
 	kmax := flag.Int("kmax", 8, "largest set size certified by the exact engine")
 	workers := flag.Int("workers", 0, "exact-engine worker goroutines (0 = GOMAXPROCS)")
+	long := cli.RegisterLongRun()
 	flag.Parse()
 
+	cli.Validate(
+		cli.PowerOfTwo("n", *n),
+		cli.Positive("max-d", *maxD),
+		cli.NonNegative("exact-nodes", *exactNodes),
+		cli.Positive("kmax", *kmax),
+		cli.NonNegative("workers", *workers),
+	)
+
+	ctx, cancel, onProgress := long.Start()
+	defer cancel()
 	opts := core.ExpansionTableOptions{
 		ExactNodes: *exactNodes,
 		KMax:       *kmax,
 		Workers:    *workers,
+		Ctx:        ctx,
+		OnProgress: onProgress,
 	}
 	for _, kind := range []core.ExpansionKind{core.WnEdge, core.WnNode, core.BnEdge, core.BnNode} {
 		// Each kind's lemma construction has its own valid dimension range;

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/construct"
 	"repro/internal/mos"
 )
@@ -23,6 +24,13 @@ func main() {
 	maxLog := flag.Int("max-log", 30, "largest log n for the bisection series")
 	maxJ := flag.Int("max-j", 1024, "largest j for the mos series")
 	flag.Parse()
+
+	cli.Validate(
+		// The plan constructor refuses exponents above 48; reject the flag
+		// up front instead of crashing mid-series.
+		cli.Range("max-log", *maxLog, 6, 48),
+		cli.Positive("max-j", *maxJ),
+	)
 
 	switch *series {
 	case "bisection":

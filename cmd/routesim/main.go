@@ -7,15 +7,22 @@
 // (min/mean/max steps, steps/bound ratios, bound-tightness counts) fanned
 // over -workers parallel workers on the flat simulation engine.
 //
+// -timeout bounds the whole run: at the deadline, in-flight trials are
+// discarded and each row aggregates only its completed trials (the trials
+// column then reads "done of requested"). -progress streams completed
+// trial counts to stderr.
+//
 // Usage:
 //
 //	routesim [-seed 1] [-max-log 9] [-trials 100] [-workers 0]
+//	         [-timeout 0] [-progress] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
@@ -24,9 +31,20 @@ func main() {
 	maxLog := flag.Int("max-log", 9, "largest log n simulated")
 	trials := flag.Int("trials", 100, "Monte-Carlo trials per row")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
+	long := cli.RegisterLongRun()
 	flag.Parse()
 
-	opt := core.RoutingOptions{Trials: *trials, Workers: *workers}
+	cli.Validate(
+		cli.Positive("trials", *trials),
+		cli.NonNegative("workers", *workers),
+		// A 2^24-input butterfly already simulates ~4·10^8 node-steps per
+		// trial; larger exponents are out of this simulator's reach.
+		cli.Range("max-log", *maxLog, 3, 24),
+	)
+
+	ctx, cancel, onProgress := long.Start()
+	defer cancel()
+	opt := core.RoutingOptions{Trials: *trials, Workers: *workers, Ctx: ctx, OnProgress: onProgress}
 	var random, perms []core.RoutingReport
 	for d := 3; d <= *maxLog; d++ {
 		n := 1 << d

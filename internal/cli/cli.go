@@ -1,0 +1,145 @@
+// Package cli holds the shared command-line plumbing of the repro
+// binaries: fail-fast validation of nonsensical flag values (rejected with
+// usage and exit code 2, like flag-parse errors), -timeout contexts,
+// -progress printers, and the optional -pprof debug server.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"time"
+
+	"repro/internal/solve"
+)
+
+// exit is swapped out by tests; production code always calls os.Exit.
+var exit = os.Exit
+
+// Positive rejects flag values that must be at least one (trial counts,
+// set sizes): a zero-trial simulation or zero-size table is a typo, not a
+// request.
+func Positive(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("-%s must be ≥ 1 (got %d)", name, v)
+	}
+	return nil
+}
+
+// NonNegative rejects negative values of flags where zero is meaningful
+// (e.g. -workers 0 = all cores).
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must be ≥ 0 (got %d)", name, v)
+	}
+	return nil
+}
+
+// Range rejects values outside [lo, hi] — used for size exponents whose
+// upper end would overflow or exhaust memory long before producing output.
+func Range(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("-%s must be in [%d, %d] (got %d)", name, lo, hi, v)
+	}
+	return nil
+}
+
+// PowerOfTwo rejects network sizes the butterfly constructors cannot
+// build, turning their panic into a usage error.
+func PowerOfTwo(name string, v int) error {
+	if v < 2 || v&(v-1) != 0 {
+		return fmt.Errorf("-%s must be a power of two ≥ 2 (got %d)", name, v)
+	}
+	return nil
+}
+
+// Validate prints every non-nil error and the flag usage to stderr, then
+// exits with code 2 (the flag package's own parse-failure code). With no
+// failures it returns silently.
+func Validate(errs ...error) {
+	bad := false
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
+			bad = true
+		}
+	}
+	if !bad {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "usage:")
+	printUsage()
+	exit(2)
+}
+
+// printUsage is swapped out by tests (flag.Usage writes to the real
+// stderr via the default FlagSet, which tests cannot intercept).
+var printUsage = defaultUsage
+
+func defaultUsage() { flag.Usage() }
+
+// LongRun bundles the shared flags of the long-running table commands.
+// Register it before flag.Parse, Start after.
+type LongRun struct {
+	Timeout  *time.Duration
+	Progress *bool
+	Pprof    *string
+}
+
+// RegisterLongRun declares -timeout, -progress and -pprof on the default
+// flag set.
+func RegisterLongRun() *LongRun {
+	return &LongRun{
+		Timeout:  flag.Duration("timeout", 0, "wall-clock budget; on expiry solvers return best-so-far results marked non-exact (0 = unlimited)"),
+		Progress: flag.Bool("progress", false, "print solver progress snapshots to stderr"),
+		Pprof:    flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// Start applies the parsed LongRun flags: it launches the pprof server (if
+// requested) and returns the deadline context plus the progress callback
+// (nil when -progress is off). The caller must defer cancel.
+func (l *LongRun) Start() (context.Context, context.CancelFunc, func(solve.Progress)) {
+	StartPprof(*l.Pprof)
+	ctx, cancel := WithTimeout(*l.Timeout)
+	return ctx, cancel, ProgressPrinter(*l.Progress)
+}
+
+// WithTimeout returns a context carrying the -timeout deadline; d ≤ 0
+// means no deadline (plain Background). The cancel func must be deferred
+// either way.
+func WithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// ProgressPrinter returns a -progress callback writing one status line per
+// snapshot to stderr, or nil when disabled — so callers can pass the
+// result straight into an options struct.
+func ProgressPrinter(enabled bool) func(solve.Progress) {
+	if !enabled {
+		return nil
+	}
+	return func(p solve.Progress) {
+		fmt.Fprintf(os.Stderr, "progress: %s\n", p)
+	}
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") when
+// non-empty. Failures to bind are reported, not fatal: profiling is a
+// diagnostic aid, never a reason to abort the computation.
+func StartPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckers(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		ok   bool
+	}{
+		{"positive ok", Positive("trials", 1), true},
+		{"positive zero", Positive("trials", 0), false},
+		{"positive negative", Positive("trials", -3), false},
+		{"nonneg ok zero", NonNegative("workers", 0), true},
+		{"nonneg ok", NonNegative("workers", 8), true},
+		{"nonneg bad", NonNegative("workers", -1), false},
+		{"range ok low", Range("max-log", 0, 0, 48), true},
+		{"range ok high", Range("max-log", 48, 0, 48), true},
+		{"range below", Range("max-log", -1, 0, 48), false},
+		{"range above", Range("max-log", 49, 0, 48), false},
+		{"pow2 ok", PowerOfTwo("n", 256), true},
+		{"pow2 two", PowerOfTwo("n", 2), true},
+		{"pow2 one", PowerOfTwo("n", 1), false},
+		{"pow2 zero", PowerOfTwo("n", 0), false},
+		{"pow2 odd", PowerOfTwo("n", 100), false},
+		{"pow2 negative", PowerOfTwo("n", -8), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.err == nil; got != c.ok {
+				t.Fatalf("got err=%v, want ok=%v", c.err, c.ok)
+			}
+			if c.err != nil && !strings.Contains(c.err.Error(), "-") {
+				t.Fatalf("error %q does not name the flag", c.err)
+			}
+		})
+	}
+}
+
+func TestValidateExitsTwoOnFailure(t *testing.T) {
+	code := -1
+	exit = func(c int) { code = c }
+	printUsage = func() {}
+	defer func() { exit = os.Exit; printUsage = defaultUsage }()
+
+	Validate(nil, Positive("trials", 0), nil)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+
+	code = -1
+	Validate(nil, nil)
+	if code != -1 {
+		t.Fatalf("Validate exited (%d) on all-nil errors", code)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout set a deadline")
+	}
+	ctx2, cancel2 := WithTimeout(time.Hour)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Fatal("positive timeout set no deadline")
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	if ProgressPrinter(false) != nil {
+		t.Fatal("disabled printer not nil")
+	}
+	if ProgressPrinter(true) == nil {
+		t.Fatal("enabled printer is nil")
+	}
+}

@@ -18,6 +18,7 @@
 package construct
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -297,6 +298,24 @@ const maxPlanJ = 4096
 // is embarrassingly parallel because InA is a pure function of (w,i). It
 // returns exactly the same counts.
 func (p *Plan) EvaluateVirtualParallel(workers int) (capacity, sizeA int) {
+	capacity, sizeA, _ = p.EvaluateVirtualParallelCtx(context.Background(), workers)
+	return capacity, sizeA
+}
+
+// evalCheckStride is how many columns each evaluation worker processes
+// between context polls: a column is log n InA pairs, so the poll cost is
+// amortized to nothing while cancellation still lands within milliseconds
+// even on multi-million-column plans.
+const evalCheckStride = 2048
+
+// EvaluateVirtualParallelCtx is EvaluateVirtualParallel with cooperative
+// cancellation: workers poll ctx every evalCheckStride columns. On
+// cancellation the partial counts are meaningless, so it returns zeros
+// and a non-nil error wrapping ctx.Err().
+func (p *Plan) EvaluateVirtualParallelCtx(ctx context.Context, workers int) (capacity, sizeA int, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -317,7 +336,15 @@ func (p *Plan) EvaluateVirtualParallel(workers int) (capacity, sizeA int) {
 		go func(wk, lo, hi int) {
 			defer wg.Done()
 			var cp, sz int
+			untilPoll := evalCheckStride
 			for w := lo; w < hi; w++ {
+				untilPoll--
+				if untilPoll <= 0 {
+					if ctx.Err() != nil {
+						return
+					}
+					untilPoll = evalCheckStride
+				}
 				for i := 0; i < d; i++ {
 					a := p.InA(w, i)
 					if a != p.InA(w, i+1) {
@@ -338,11 +365,32 @@ func (p *Plan) EvaluateVirtualParallel(workers int) (capacity, sizeA int) {
 		}(wk, lo, hi)
 	}
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, 0, fmt.Errorf("construct: virtual evaluation of n=%d plan interrupted: %w", n, cerr)
+	}
 	for _, pt := range parts {
 		capacity += pt.capacity
 		sizeA += pt.sizeA
 	}
-	return capacity, sizeA
+	return capacity, sizeA, nil
+}
+
+// VirtualBisectionCapacity evaluates the plan virtually under ctx and
+// certifies it is an exact bisection, returning the measured capacity. An
+// unbalanced plan — a construction bug — yields an error naming the
+// plan's n, the measured |A|, and the required N/2, instead of the panic
+// this path used to take.
+func (p *Plan) VirtualBisectionCapacity(ctx context.Context, workers int) (int, error) {
+	capacity, sizeA, err := p.EvaluateVirtualParallelCtx(ctx, workers)
+	if err != nil {
+		return 0, err
+	}
+	nodes := p.N * (p.Dim + 1)
+	if sizeA != nodes/2 {
+		return 0, fmt.Errorf("construct: virtual plan for n=%d is not a bisection: |A|=%d, want N/2=%d",
+			p.N, sizeA, nodes/2)
+	}
+	return capacity, nil
 }
 
 // BestPlan sweeps j over the valid powers of two and returns the cheapest

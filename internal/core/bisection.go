@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/construct"
 	"repro/internal/embed"
 	"repro/internal/exact"
 	"repro/internal/heuristic"
+	"repro/internal/solve"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 )
@@ -18,9 +21,16 @@ type BisectionReport struct {
 	Nodes   int
 	Edges   int
 
-	// Exact is the true BW from branch-and-bound, or Unknown beyond the
-	// exact-size budget.
+	// Exact is the BW value from branch-and-bound, or Unknown beyond the
+	// exact-size budget. It is the certified optimum only when
+	// ExactComplete is true; a cancelled solve leaves the best incumbent
+	// here (an upper bound) with ExactComplete false.
 	Exact int
+	// ExactComplete reports whether the exact search ran to completion.
+	ExactComplete bool
+	// Explored counts the branch-and-bound nodes the exact search
+	// processed (0 when the exact solver was skipped).
+	Explored int64
 	// Heuristic is the best upper bound found by FM multi-start search, or
 	// Unknown if skipped.
 	Heuristic int
@@ -48,6 +58,31 @@ type BisectionBudget struct {
 	// graph is built; beyond it, constructed cuts are evaluated virtually
 	// (default 1<<22).
 	MaterializeNodes int
+
+	// Ctx cancels the expensive solves: exact searches return their best
+	// incumbent with ExactComplete false, heuristic refinement stops at
+	// the current pass, and virtual plan evaluation falls back to the
+	// plan's predicted capacity. nil means never cancelled.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives solver progress snapshots every
+	// ProgressInterval (≤ 0: 1s) while an exact search runs.
+	OnProgress       func(solve.Progress)
+	ProgressInterval time.Duration
+}
+
+func (b BisectionBudget) solveOptions(bound int) exact.SolveOptions {
+	return exact.SolveOptions{
+		Bound:            bound,
+		OnProgress:       b.OnProgress,
+		ProgressInterval: b.ProgressInterval,
+	}
+}
+
+// recordSolve copies one exact-solver outcome into the report.
+func (r *BisectionReport) recordSolve(res exact.BisectionResult) {
+	r.Exact = res.Width
+	r.ExactComplete = res.Exact
+	r.Explored = res.Explored
 }
 
 func (b BisectionBudget) withDefaults() BisectionBudget {
@@ -63,8 +98,12 @@ func (b BisectionBudget) withDefaults() BisectionBudget {
 	return b
 }
 
-// ButterflyBisection analyzes BW(Bn) (experiment E2, Theorem 2.20).
-func ButterflyBisection(n int, budget BisectionBudget) BisectionReport {
+// ButterflyBisection analyzes BW(Bn) (experiment E2, Theorem 2.20). A
+// cancelled budget.Ctx degrades gracefully — incumbents instead of optima,
+// the plan's predicted capacity instead of the virtually verified one — and
+// the only error is a genuinely unbalanced virtual plan (a construction
+// bug, previously a panic).
+func ButterflyBisection(n int, budget BisectionBudget) (BisectionReport, error) {
 	budget = budget.withDefaults()
 	d := log2(n)
 	nodes := n * (d + 1)
@@ -89,10 +128,10 @@ func ButterflyBisection(n int, budget BisectionBudget) BisectionReport {
 			rep.Constructed = construct.ColumnBisection(b).Capacity()
 		}
 		if nodes <= budget.ExactNodes {
-			_, rep.Exact = exact.MinBisectionWithBound(b.Graph, rep.Constructed)
+			rep.recordSolve(exact.SolveBisection(budget.Ctx, b.Graph, budget.solveOptions(rep.Constructed)))
 		}
 		if nodes <= budget.HeuristicNodes {
-			h := heuristic.BisectParallel(b.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1})
+			h := heuristic.BisectParallel(b.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx})
 			rep.Heuristic = h.Capacity()
 		}
 		if nodes <= budget.ExactNodes {
@@ -102,13 +141,24 @@ func ButterflyBisection(n int, budget BisectionBudget) BisectionReport {
 			rep.LowerBound = e.BisectionLowerBound(embed.DoubledCompleteBisectionWidth(nodes))
 		}
 	} else {
-		capacity, sizeA := construct.BestPlan(n).EvaluateVirtual()
-		if sizeA != nodes/2 {
-			panic("core: virtual plan is not balanced")
+		plan := construct.BestPlan(n)
+		ctx := budget.Ctx
+		if ctx == nil {
+			ctx = context.Background()
 		}
-		rep.Constructed = capacity
+		capacity, err := plan.VirtualBisectionCapacity(ctx, 0)
+		switch {
+		case err == nil:
+			rep.Constructed = capacity
+		case ctx.Err() != nil:
+			// Cancelled mid-evaluation: quote the plan's analytic capacity
+			// (exact by construction, just not re-verified node by node).
+			rep.Constructed = plan.Capacity
+		default:
+			return rep, fmt.Errorf("core: B%d bisection report: %w", n, err)
+		}
 	}
-	return rep
+	return rep, nil
 }
 
 // WrappedBisection analyzes BW(Wn) = n (experiment E4, Lemma 3.2).
@@ -128,10 +178,10 @@ func WrappedBisection(n int, budget BisectionBudget) BisectionReport {
 	w := topology.NewWrappedButterfly(n)
 	rep.Constructed = construct.ColumnBisection(w).Capacity()
 	if rep.Nodes <= budget.ExactNodes {
-		_, rep.Exact = exact.MinBisectionWithBound(w.Graph, rep.Constructed)
+		rep.recordSolve(exact.SolveBisection(budget.Ctx, w.Graph, budget.solveOptions(rep.Constructed)))
 	}
 	if rep.Nodes <= budget.HeuristicNodes {
-		rep.Heuristic = heuristic.BisectParallel(w.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1}).Capacity()
+		rep.Heuristic = heuristic.BisectParallel(w.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx}).Capacity()
 	}
 	return rep
 }
@@ -153,10 +203,10 @@ func CCCBisection(n int, budget BisectionBudget) BisectionReport {
 	c := topology.NewCCC(n)
 	rep.Constructed = construct.CCCDimensionCut(c).Capacity()
 	if rep.Nodes <= budget.ExactNodes {
-		_, rep.Exact = exact.MinBisectionWithBound(c.Graph, rep.Constructed)
+		rep.recordSolve(exact.SolveBisection(budget.Ctx, c.Graph, budget.solveOptions(rep.Constructed)))
 	}
 	if rep.Nodes <= budget.HeuristicNodes {
-		rep.Heuristic = heuristic.BisectParallel(c.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1}).Capacity()
+		rep.Heuristic = heuristic.BisectParallel(c.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx}).Capacity()
 	}
 	return rep
 }
@@ -170,16 +220,40 @@ func InputBisectionCheck(n int) (width int) {
 	return width
 }
 
-// RenderBisectionTable renders E2/E4/E5 reports as one table.
+// RenderBisectionTable renders E2/E4/E5 reports as one table. The "exact?"
+// column distinguishes certified optima from cancelled-solve incumbents,
+// and "explored" is the branch-and-bound node count behind the value.
 func RenderBisectionTable(title string, reports []BisectionReport) string {
 	t := tablefmt.New(title,
-		"network", "nodes", "exact", "heuristic", "constructed", "lower", "theory", "constructed/n-style ratio")
+		"network", "nodes", "exact", "exact?", "explored", "heuristic", "constructed", "lower", "theory", "constructed/n-style ratio")
 	for _, r := range reports {
 		ratio := float64(r.Constructed) / r.Theory
-		t.AddRow(r.Network, r.Nodes, fmtOrDash(r.Exact), fmtOrDash(r.Heuristic),
+		t.AddRow(r.Network, r.Nodes, fmtOrDash(r.Exact),
+			fmtExactFlag(r.Exact, r.ExactComplete), fmtExplored(r.Exact, r.Explored),
+			fmtOrDash(r.Heuristic),
 			r.Constructed, fmtOrDash(r.LowerBound), r.Theory, ratio)
 	}
 	return t.String()
+}
+
+// fmtExactFlag renders the "exact?" cell: a dash when no exact value was
+// attempted, otherwise whether the search certified the optimum.
+func fmtExactFlag(value int, complete bool) interface{} {
+	if value == Unknown {
+		return "-"
+	}
+	if complete {
+		return "yes"
+	}
+	return "no"
+}
+
+// fmtExplored renders the "explored" cell alongside an exact value.
+func fmtExplored(value int, explored int64) interface{} {
+	if value == Unknown {
+		return "-"
+	}
+	return explored
 }
 
 // SubFolkloreSweep returns the best sub-n plan per size — the series behind

@@ -8,9 +8,15 @@ import (
 func TestButterflyBisectionSmall(t *testing.T) {
 	// B4: exact, heuristic, constructed and lower bound must nest
 	// correctly: LB ≤ exact ≤ heuristic, exact ≤ constructed.
-	r := ButterflyBisection(4, BisectionBudget{})
+	r, err := ButterflyBisection(4, BisectionBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Exact == Unknown {
 		t.Fatalf("exact should be computed for B4")
+	}
+	if !r.ExactComplete {
+		t.Errorf("uncancelled exact solve not marked complete")
 	}
 	if r.LowerBound > r.Exact {
 		t.Errorf("lower bound %d exceeds exact %d", r.LowerBound, r.Exact)
@@ -30,16 +36,25 @@ func TestButterflyBisectionExactB8(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exact B8 takes a few seconds")
 	}
-	r := ButterflyBisection(8, BisectionBudget{ExactNodes: 32})
+	r, err := ButterflyBisection(8, BisectionBudget{ExactNodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Exact != 8 {
 		t.Errorf("BW(B8) = %d, want 8", r.Exact)
+	}
+	if !r.ExactComplete || r.Explored == 0 {
+		t.Errorf("B8 solve telemetry: complete=%v explored=%d", r.ExactComplete, r.Explored)
 	}
 }
 
 func TestButterflyBisectionVirtualLarge(t *testing.T) {
 	// Beyond the materialization budget, the constructed capacity comes
 	// from the virtual evaluator and beats folklore at large sizes.
-	r := ButterflyBisection(1<<15, BisectionBudget{MaterializeNodes: 1000})
+	r, err := ButterflyBisection(1<<15, BisectionBudget{MaterializeNodes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Exact != Unknown || r.Heuristic != Unknown {
 		t.Errorf("exact/heuristic should be skipped at this size")
 	}

@@ -9,7 +9,7 @@ import (
 func ExampleButterflyBisection() {
 	// One line of the E2 table: B4's exact width, the §1.4 lower bound,
 	// and the constructed cut.
-	r := core.ButterflyBisection(4, core.BisectionBudget{ExactNodes: 32})
+	r, _ := core.ButterflyBisection(4, core.BisectionBudget{ExactNodes: 32})
 	fmt.Println("network:", r.Network)
 	fmt.Println("exact BW:", r.Exact)
 	fmt.Println("constructed:", r.Constructed)

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cut"
 	"repro/internal/exact"
 	"repro/internal/expansion"
+	"repro/internal/solve"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 )
@@ -67,9 +70,15 @@ type ExpansionRow struct {
 	// WitnessUB must equal it.
 	WitnessFormula int
 	CreditLB       int
-	Exact          int
-	TheoryLB       float64 // c_lower·k/log k
-	TheoryUB       float64 // c_upper·k/log k
+	// Exact is the branch-and-bound optimum (Unknown beyond the budget).
+	// It is certified only when ExactComplete is true; a cancelled survey
+	// leaves the best incumbent here (still an upper bound).
+	Exact         int
+	ExactComplete bool
+	// Explored counts branch-and-bound nodes behind the Exact value.
+	Explored int64
+	TheoryLB float64 // c_lower·k/log k
+	TheoryUB float64 // c_upper·k/log k
 }
 
 // MaxWitnessDim returns the largest witness dimension d for which the
@@ -120,6 +129,16 @@ type ExpansionTableOptions struct {
 	KMax int
 	// Workers is the exact engine's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+
+	// Ctx cancels the exact pass: interrupted searches report their best
+	// incumbent with ExactComplete false instead of running to the end.
+	// Witness measurement and credit certification are unaffected (cheap).
+	// nil means never cancelled.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives solver progress snapshots every
+	// ProgressInterval (≤ 0: 1s) while the exact pass runs.
+	OnProgress       func(solve.Progress)
+	ProgressInterval time.Duration
 }
 
 func (o ExpansionTableOptions) withDefaults() ExpansionTableOptions {
@@ -173,22 +192,32 @@ func ExpansionTable(kind ExpansionKind, n int, dims []int, opts ExpansionTableOp
 		return -1
 	}
 	surveyOpts := exact.SurveyOptions{
-		EdgeOnly: kind == WnEdge || kind == BnEdge,
-		NodeOnly: kind == WnNode || kind == BnNode,
-		EdgeSeed: seed,
-		NodeSeed: seed,
+		EdgeOnly:         kind == WnEdge || kind == BnEdge,
+		NodeOnly:         kind == WnNode || kind == BnNode,
+		EdgeSeed:         seed,
+		NodeSeed:         seed,
+		Ctx:              opts.Ctx,
+		OnProgress:       opts.OnProgress,
+		ProgressInterval: opts.ProgressInterval,
 	}
-	exactByK := make(map[int]int)
+	type exactOutcome struct {
+		value    int
+		complete bool
+		explored int64
+	}
+	exactByK := make(map[int]exactOutcome)
 	for _, res := range exact.ExpansionSurveyWithOptions(g.Graph, ks, root, opts.Workers, surveyOpts) {
 		if res.EE != exact.NotComputed {
-			exactByK[res.K] = res.EE
+			exactByK[res.K] = exactOutcome{res.EE, res.EEExact, res.EEExplored}
 		} else {
-			exactByK[res.K] = res.NE
+			exactByK[res.K] = exactOutcome{res.NE, res.NEExact, res.NEExplored}
 		}
 	}
 	for i := range rows {
-		if v, ok := exactByK[rows[i].K]; ok {
-			rows[i].Exact = v
+		if o, ok := exactByK[rows[i].K]; ok {
+			rows[i].Exact = o.value
+			rows[i].ExactComplete = o.complete
+			rows[i].Explored = o.explored
 		}
 	}
 	return rows
@@ -257,9 +286,11 @@ func RenderExpansionTable(rows []ExpansionRow) string {
 	}
 	title := fmt.Sprintf("%s: witness upper bound vs credit-certified lower bound (§4.3)", rows[0].Kind)
 	t := tablefmt.New(title,
-		"n", "d", "k", "exact", "credit LB", "witness UB", "lemma formula", "c_lo·k/log k", "c_hi·k/log k")
+		"n", "d", "k", "exact", "exact?", "explored", "credit LB", "witness UB", "lemma formula", "c_lo·k/log k", "c_hi·k/log k")
 	for _, r := range rows {
-		t.AddRow(r.N, r.D, r.K, fmtOrDash(r.Exact), r.CreditLB, r.WitnessUB, r.WitnessFormula, r.TheoryLB, r.TheoryUB)
+		t.AddRow(r.N, r.D, r.K, fmtOrDash(r.Exact),
+			fmtExactFlag(r.Exact, r.ExactComplete), fmtExplored(r.Exact, r.Explored),
+			r.CreditLB, r.WitnessUB, r.WitnessFormula, r.TheoryLB, r.TheoryUB)
 	}
 	return t.String()
 }

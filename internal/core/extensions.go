@@ -210,12 +210,14 @@ type LayoutRow struct {
 
 // LayoutExperiment lays Bn out on the Thompson grid with both strategies
 // and checks the §1.2 Thompson relation against the constructed bisection.
-func LayoutExperiment(n int) LayoutRow {
+// A layout that fails validation (overlapping wires, missing edges) is a
+// router bug reported as an error, not a panic.
+func LayoutExperiment(n int) (LayoutRow, error) {
 	b := topology.NewButterfly(n)
 	packed := layout.New(b, layout.Packed)
 	naive := layout.New(b, layout.Naive)
 	if err := packed.Validate(); err != nil {
-		panic(err)
+		return LayoutRow{}, fmt.Errorf("core: packed layout of B%d failed validation: %w", n, err)
 	}
 	bw := construct.BestPlan(n).Capacity
 	return LayoutRow{
@@ -225,7 +227,7 @@ func LayoutExperiment(n int) LayoutRow {
 		PackedRatio: packed.AreaRatio(),
 		BWSquared:   bw * bw,
 		Consistent:  packed.ThompsonConsistent(bw),
-	}
+	}, nil
 }
 
 // RenderLayoutTable renders E17 rows.

@@ -110,7 +110,10 @@ func TestEmulationExperiments(t *testing.T) {
 }
 
 func TestLayoutExperiment(t *testing.T) {
-	r := LayoutExperiment(64)
+	r, err := LayoutExperiment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Consistent {
 		t.Errorf("Thompson violated: %+v", r)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -11,12 +12,18 @@ type ReportOptions struct {
 	Quick bool
 	// Seed drives the randomized experiments (routing, Beneš checks).
 	Seed int64
+	// Ctx cancels the expensive solves mid-report: affected rows degrade
+	// to incumbents (marked non-exact) rather than aborting the report.
+	// nil means never cancelled.
+	Ctx context.Context
 }
 
 // WriteFullReport runs every experiment of DESIGN.md (E1–E16) and writes
 // the complete reproduction report to w. cmd/paperrepro is a thin wrapper
-// around this function; EXPERIMENTS.md records its output.
-func WriteFullReport(w io.Writer, opts ReportOptions) {
+// around this function; EXPERIMENTS.md records its output. A non-nil error
+// means an experiment detected an internal inconsistency (e.g. an invalid
+// layout or unbalanced plan) and the report is incomplete.
+func WriteFullReport(w io.Writer, opts ReportOptions) error {
 	exactNodes := 32
 	if opts.Quick {
 		exactNodes = 16
@@ -24,7 +31,7 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	budget := BisectionBudget{ExactNodes: exactNodes}
+	budget := BisectionBudget{ExactNodes: exactNodes, Ctx: opts.Ctx}
 
 	fmt.Fprintln(w, "=== E1: structure (Fig. 1, §1.1) ===")
 	var structs []StructureReport
@@ -39,7 +46,11 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 	fmt.Fprintln(w, "\n=== E2: BW(Bn) (Theorem 2.20) ===")
 	var bn []BisectionReport
 	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
-		bn = append(bn, ButterflyBisection(n, budget))
+		r, err := ButterflyBisection(n, budget)
+		if err != nil {
+			return err
+		}
+		bn = append(bn, r)
 	}
 	fmt.Fprint(w, RenderBisectionTable("BW(Bn)", bn))
 	var dims []int
@@ -72,18 +83,18 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 	fmt.Fprintln(w, "\n=== E6/E7: expansion (§4.3 tables) ===")
 	for _, kind := range []ExpansionKind{WnEdge, WnNode, BnEdge, BnNode} {
 		fmt.Fprint(w, RenderExpansionTable(ExpansionTable(kind, 256, []int{1, 2, 3, 4},
-			ExpansionTableOptions{ExactNodes: exactNodes})))
+			ExpansionTableOptions{ExactNodes: exactNodes, Ctx: opts.Ctx})))
 	}
 	fmt.Fprintln(w, "\n--- exact optima at enumerable sizes ---")
 	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(WnEdge, 16, []int{1},
-		ExpansionTableOptions{ExactNodes: exactNodes * 2})))
+		ExpansionTableOptions{ExactNodes: exactNodes * 2, Ctx: opts.Ctx})))
 	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(BnEdge, 8, []int{1},
-		ExpansionTableOptions{ExactNodes: exactNodes * 2})))
+		ExpansionTableOptions{ExactNodes: exactNodes * 2, Ctx: opts.Ctx})))
 
 	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
 	var random []RoutingReport
 	for _, n := range []int{8, 16, 32, 64} {
-		random = append(random, RandomRoutingExperiment(n, opts.Seed, RoutingOptions{Trials: 25}))
+		random = append(random, RandomRoutingExperiment(n, opts.Seed, RoutingOptions{Trials: 25, Ctx: opts.Ctx}))
 	}
 	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn (25 trials/row)", random))
 
@@ -132,9 +143,14 @@ func WriteFullReport(w io.Writer, opts ReportOptions) {
 	fmt.Fprintln(w, "\n=== E17: VLSI layout (§1.1/§1.2) ===")
 	var lay []LayoutRow
 	for _, n := range []int{16, 64, 256, 1024} {
-		lay = append(lay, LayoutExperiment(n))
+		row, err := LayoutExperiment(n)
+		if err != nil {
+			return err
+		}
+		lay = append(lay, row)
 	}
 	fmt.Fprint(w, RenderLayoutTable(lay))
+	return nil
 }
 
 // LayoutAreaLowerBound is Thompson's VLSI bound quoted in §1.2:

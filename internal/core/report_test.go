@@ -7,7 +7,9 @@ import (
 
 func TestWriteFullReportQuick(t *testing.T) {
 	var sb strings.Builder
-	WriteFullReport(&sb, ReportOptions{Quick: true})
+	if err := WriteFullReport(&sb, ReportOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
 	out := sb.String()
 	for _, section := range []string{
 		"E1:", "E2:", "E3:", "E4:", "E5:", "E6/E7:", "E8:", "E9:",

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/construct"
 	"repro/internal/route"
+	"repro/internal/solve"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 )
@@ -17,6 +20,15 @@ type RoutingOptions struct {
 	Trials int
 	// Workers is the number of parallel trial workers (≤0: GOMAXPROCS).
 	Workers int
+
+	// Ctx cancels the simulation: the report covers only the trials that
+	// completed (Stats.Cancelled set, Trials < Requested). nil means never
+	// cancelled.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives completed-trial counts every
+	// ProgressInterval (≤ 0: 1s).
+	OnProgress       func(solve.Progress)
+	ProgressInterval time.Duration
 }
 
 // RoutingReport is one row of the §1.2 experiment (E8): multi-trial
@@ -55,7 +67,10 @@ func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptio
 		// Greedy store-and-forward empirically sits 3–5× above the §1.2
 		// floor, so a 4× threshold splits the trial distribution instead
 		// of counting all or nothing.
-		TightFactor: 4,
+		TightFactor:      4,
+		Ctx:              opt.Ctx,
+		OnProgress:       opt.OnProgress,
+		ProgressInterval: opt.ProgressInterval,
 	})
 	return RoutingReport{
 		N:           n,
@@ -76,7 +91,11 @@ func RenderRoutingTable(title string, reports []RoutingReport) string {
 		"crossings", "bound steps≥", "steps/bound", tightHeader, "max queue")
 	for _, r := range reports {
 		s := r.Stats
-		t.AddRow(r.N, r.Trials,
+		trials := fmt.Sprintf("%d", r.Trials)
+		if s.Cancelled {
+			trials = fmt.Sprintf("%d of %d", s.Trials, s.Requested)
+		}
+		t.AddRow(r.N, trials,
 			fmt.Sprintf("%.1f", s.MeanPackets),
 			fmt.Sprintf("%d/%.1f/%d", s.MinSteps, s.MeanSteps, s.MaxSteps),
 			r.CutCapacity,

@@ -19,6 +19,7 @@ package exact
 import (
 	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/solve"
 )
 
 const (
@@ -49,6 +50,46 @@ type bbState struct {
 
 	best     int
 	bestSide []bool
+
+	// Cooperative cancellation + telemetry: explored/pruned counts are
+	// batched locally and flushed to mon every solve.TickStride nodes.
+	// tickBudget counts DOWN from solve.TickStride so the per-node fast
+	// path is one decrement and one branch; after a stop it stays pinned
+	// at zero, steering every later tick into the latched slow path.
+	mon        *solve.Monitor
+	tickBudget int32
+	prunedTick int32
+	stopped    bool
+}
+
+// tickNode counts one explored search node and reports whether the search
+// should stop. The monitor's atomic stop flag is only polled when the
+// stride budget runs out (every solve.TickStride nodes); once seen,
+// stopped latches so the remaining unwind is pure returns.
+func (st *bbState) tickNode() bool {
+	st.tickBudget--
+	if st.tickBudget <= 0 {
+		st.flushTicks()
+		return st.stopped
+	}
+	return false
+}
+
+// flushTicks drains the local counters into the monitor and samples the
+// stop flag. After a stop it only re-pins the budget: the drained totals
+// were flushed when the stop was first seen and no nodes are explored
+// past it.
+func (st *bbState) flushTicks() {
+	if st.stopped {
+		st.tickBudget = 0
+		return
+	}
+	e, p := int64(solve.TickStride-st.tickBudget), int64(st.prunedTick)
+	st.tickBudget, st.prunedTick = solve.TickStride, 0
+	if st.mon.Tick(e, p) {
+		st.stopped = true
+		st.tickBudget = 0
+	}
 }
 
 func newBBState(g *graph.Graph) *bbState {
@@ -58,6 +99,8 @@ func newBBState(g *graph.Graph) *bbState {
 		cntS:    make([]int32, g.N()),
 		cntSbar: make([]int32, g.N()),
 		pos:     make([]int32, g.N()),
+
+		tickBudget: solve.TickStride,
 	}
 	for i := range st.assign {
 		st.assign[i] = unassigned
@@ -172,6 +215,7 @@ func (st *bbState) record() {
 	}
 	st.best = st.curCut
 	st.bestSide = side
+	st.mon.SetIncumbent(int64(st.curCut))
 }
 
 // MinBisection returns a minimum bisection of g and its capacity BW(g). The
@@ -186,17 +230,34 @@ func MinBisection(g *graph.Graph) (*cut.Cut, int) {
 // tighter seed prunes more. If bound is not achievable the function falls
 // back to an unseeded search, so the result is the true optimum either way.
 func MinBisectionWithBound(g *graph.Graph, bound int) (*cut.Cut, int) {
+	c, w, _ := minBisectionSearch(g, bound, nil)
+	return c, w
+}
+
+// minBisectionSearch is the serial engine behind MinBisection and
+// SolveBisection: one bbState, one DFS, incumbent seeded from bound. The
+// returned flag reports whether the search ran to completion; when the
+// monitor stops it early the result is the best incumbent so far (or the
+// BFS-prefix seed if none was found), which is a valid bisection but not
+// a certified optimum.
+func minBisectionSearch(g *graph.Graph, bound int, mon *solve.Monitor) (*cut.Cut, int, bool) {
 	n := g.N()
 	if n == 0 {
-		return cut.FromSet(g, nil), 0
+		return cut.FromSet(g, nil), 0, true
 	}
 	st := newBBState(g)
+	st.mon = mon
+	st.stopped = mon.Stopped()
 	st.best = bound + 1
 	half := (n + 1) / 2
 
 	var dfs func(idx int)
 	dfs = func(idx int) {
+		if st.tickNode() {
+			return
+		}
 		if st.curCut+st.minSum >= st.best {
+			st.prunedTick++
 			return
 		}
 		if idx == n {
@@ -225,14 +286,23 @@ func MinBisectionWithBound(g *graph.Graph, bound int) (*cut.Cut, int) {
 			st.unplace(v, s)
 		}
 	}
-	dfs(0)
+	if !st.stopped {
+		dfs(0)
+	}
+	st.flushTicks()
 
 	if st.bestSide == nil {
+		if st.stopped {
+			// Cancelled before any bisection beat the seed: return the
+			// always-feasible BFS-prefix cut, flagged non-exact.
+			c := initialBisection(g)
+			return c, c.Capacity(), false
+		}
 		// bound was below BW(g), so nothing was found: rerun with the
 		// always-achievable internal seed.
-		return MinBisection(g)
+		return minBisectionSearch(g, initialBisectionBound(g), mon)
 	}
-	return cut.New(g, st.bestSide), st.best
+	return cut.New(g, st.bestSide), st.best, !st.stopped
 }
 
 // initialBisection returns the balanced BFS prefix cut used to seed the
@@ -254,12 +324,21 @@ func initialBisectionBound(g *graph.Graph) int {
 // bisect the node set u (the U-bisection width BW(g, U) of §2.1), together
 // with that capacity. Nodes outside u are unconstrained.
 func MinSubsetBisection(g *graph.Graph, u []int) (*cut.Cut, int) {
+	c, w, _ := minSubsetBisectionSearch(g, u, nil)
+	return c, w
+}
+
+// minSubsetBisectionSearch is MinSubsetBisection with cooperative
+// cancellation; the flag reports completion (see minBisectionSearch).
+func minSubsetBisectionSearch(g *graph.Graph, u []int, mon *solve.Monitor) (*cut.Cut, int, bool) {
 	n := g.N()
 	inU := make([]bool, n)
 	for _, v := range u {
 		inU[v] = true
 	}
 	st := newBBState(g)
+	st.mon = mon
+	st.stopped = mon.Stopped()
 
 	// Seed: alternate u between sides in BFS order, everything else in S̄.
 	seedSide := make([]bool, n)
@@ -285,7 +364,11 @@ func MinSubsetBisection(g *graph.Graph, u []int) (*cut.Cut, int) {
 
 	var dfs func(idx int)
 	dfs = func(idx int) {
+		if st.tickNode() {
+			return
+		}
 		if st.curCut+st.minSum >= st.best {
+			st.prunedTick++
 			return
 		}
 		if idx == n {
@@ -329,10 +412,16 @@ func MinSubsetBisection(g *graph.Graph, u []int) (*cut.Cut, int) {
 			}
 		}
 	}
-	dfs(0)
+	if !st.stopped {
+		dfs(0)
+	}
+	st.flushTicks()
 
 	if st.bestSide == nil {
-		return seed, seed.Capacity()
+		// Either the alternating seed is optimal (complete search) or the
+		// search was cancelled before beating it; the seed is feasible
+		// either way.
+		return seed, seed.Capacity(), !st.stopped
 	}
-	return cut.New(g, st.bestSide), st.best
+	return cut.New(g, st.bestSide), st.best, !st.stopped
 }

@@ -1,7 +1,9 @@
 package exact
 
 import (
+	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/solve"
 )
 
 // MinEdgeExpansion computes EE(g,k) = min_{|S|=k} C(S,S̄) (§1.3), returning
@@ -9,7 +11,8 @@ import (
 // nodes in BFS order with incrementally maintained boundary counters (see
 // expState), so completed sets are evaluated in O(1).
 func MinEdgeExpansion(g *graph.Graph, k int) ([]int, int) {
-	return minExpansion(g, k, -1, edgeExpansion, noBound)
+	set, val, _ := minExpansion(g, k, -1, edgeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinEdgeExpansionWithBound is MinEdgeExpansion seeded with a known
@@ -19,7 +22,8 @@ func MinEdgeExpansion(g *graph.Graph, k int) ([]int, int) {
 // way. If bound is below the true optimum the search falls back to an
 // unseeded run, so the result is exact either way.
 func MinEdgeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
-	return minExpansion(g, k, -1, edgeExpansion, bound)
+	set, val, _ := minExpansion(g, k, -1, edgeExpansion, bound, nil)
+	return set, val
 }
 
 // MinEdgeExpansionContaining computes min C(S,S̄) over sets of size k that
@@ -29,19 +33,22 @@ func MinEdgeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
 // networks it is an upper bound on EE(g,k).
 func MinEdgeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
 	checkRoot(g, root)
-	return minExpansion(g, k, root, edgeExpansion, noBound)
+	set, val, _ := minExpansion(g, k, root, edgeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinNodeExpansion computes NE(g,k) = min_{|S|=k} |N(S)| (§1.3), returning a
 // minimizing set and its neighbor count.
 func MinNodeExpansion(g *graph.Graph, k int) ([]int, int) {
-	return minExpansion(g, k, -1, nodeExpansion, noBound)
+	set, val, _ := minExpansion(g, k, -1, nodeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinNodeExpansionWithBound is the NE analogue of
 // MinEdgeExpansionWithBound.
 func MinNodeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
-	return minExpansion(g, k, -1, nodeExpansion, bound)
+	set, val, _ := minExpansion(g, k, -1, nodeExpansion, bound, nil)
+	return set, val
 }
 
 // MinNodeExpansionContaining is the root-forced analogue of
@@ -49,7 +56,8 @@ func MinNodeExpansionWithBound(g *graph.Graph, k, bound int) ([]int, int) {
 // networks, an upper bound elsewhere.
 func MinNodeExpansionContaining(g *graph.Graph, k, root int) ([]int, int) {
 	checkRoot(g, root)
-	return minExpansion(g, k, root, nodeExpansion, noBound)
+	set, val, _ := minExpansion(g, k, root, nodeExpansion, noBound, nil)
+	return set, val
 }
 
 const (
@@ -96,24 +104,53 @@ func expansionOrder(g *graph.Graph, root int) []int32 {
 }
 
 // minExpansion is the serial engine behind the exported Min*Expansion
-// functions: one expState, one DFS, incumbent seeded from bound.
-func minExpansion(g *graph.Graph, k, root int, edge bool, bound int) ([]int, int) {
+// functions: one expState, one DFS, incumbent seeded from bound. The flag
+// reports whether the search ran to completion; a stopped search returns
+// its best incumbent (or the BFS-prefix fallback), which is a feasible
+// k-set but not a certified optimum.
+func minExpansion(g *graph.Graph, k, root int, edge bool, bound int, mon *solve.Monitor) ([]int, int, bool) {
 	checkSetSize(g, k)
 	if k == 0 || k == g.N() {
-		return prefixSet(k), 0
+		return prefixSet(k), 0, true
 	}
-	st := newExpState(g, expansionOrder(g, root))
-	sb := &sharedExpBound{}
+	order := expansionOrder(g, root)
+	st := newExpState(g, order)
+	st.mon = mon
+	st.stopped = mon.Stopped()
+	sb := &sharedExpBound{mon: mon}
+	st.sb = sb
 	sb.best.Store(initialExpBest(g, edge, bound))
-	dfsExpansion(st, 0, k, edge, root >= 0, sb)
+	if !st.stopped {
+		dfsExpansion(st, 0, k, edge, root >= 0, sb)
+	}
+	st.flushTicks()
 	if sb.set == nil {
+		if st.stopped {
+			set, val := fallbackExpansionSet(g, order, k, edge)
+			return set, val, false
+		}
 		// bound was below the optimum, so nothing was found: rerun without
 		// the seed. The result is the true optimum either way.
-		return minExpansion(g, k, root, edge, noBound)
+		return minExpansion(g, k, root, edge, noBound, mon)
 	}
 	out := make([]int, len(sb.set))
 	copy(out, sb.set)
-	return out, int(sb.best.Load())
+	return out, int(sb.best.Load()), !st.stopped
+}
+
+// fallbackExpansionSet is the feasible incumbent returned when a search is
+// cancelled before recording any set: the first k nodes of the decision
+// order (a BFS-connected prefix, so already a reasonable set) with its
+// measured boundary.
+func fallbackExpansionSet(g *graph.Graph, order []int32, k int, edge bool) ([]int, int) {
+	set := make([]int, k)
+	for i := range set {
+		set[i] = int(order[i])
+	}
+	if edge {
+		return set, cut.EdgeBoundary(g, set)
+	}
+	return set, len(cut.NodeBoundary(g, set))
 }
 
 // prefixSet returns the first k node ids, used for the trivial k ∈ {0, N}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/solve"
 )
 
 // The parallel expansion engine mirrors MinBisectionParallel: the decisions
@@ -19,7 +20,8 @@ import (
 // (workers ≤ 0 means GOMAXPROCS). The optimum always equals
 // MinEdgeExpansion's; the witness set may differ when several are optimal.
 func MinEdgeExpansionParallel(g *graph.Graph, k, workers int) ([]int, int) {
-	return minExpansionParallel(g, k, -1, workers, edgeExpansion, noBound)
+	set, val, _ := minExpansionParallel(g, k, -1, workers, edgeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinEdgeExpansionParallelWithBound seeds the parallel search with a known
@@ -27,7 +29,8 @@ func MinEdgeExpansionParallel(g *graph.Graph, k, workers int) ([]int, int) {
 // pruning starts tight instead of from M+1. An unachievable bound falls
 // back to an unseeded run; the result is exact either way.
 func MinEdgeExpansionParallelWithBound(g *graph.Graph, k, workers, bound int) ([]int, int) {
-	return minExpansionParallel(g, k, -1, workers, edgeExpansion, bound)
+	set, val, _ := minExpansionParallel(g, k, -1, workers, edgeExpansion, bound, nil)
+	return set, val
 }
 
 // MinEdgeExpansionParallelContaining is the parallel form of
@@ -35,25 +38,29 @@ func MinEdgeExpansionParallelWithBound(g *graph.Graph, k, workers, bound int) ([
 // bound elsewhere.
 func MinEdgeExpansionParallelContaining(g *graph.Graph, k, root, workers int) ([]int, int) {
 	checkRoot(g, root)
-	return minExpansionParallel(g, k, root, workers, edgeExpansion, noBound)
+	set, val, _ := minExpansionParallel(g, k, root, workers, edgeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinNodeExpansionParallel computes NE(g,k) exactly on workers goroutines.
 func MinNodeExpansionParallel(g *graph.Graph, k, workers int) ([]int, int) {
-	return minExpansionParallel(g, k, -1, workers, nodeExpansion, noBound)
+	set, val, _ := minExpansionParallel(g, k, -1, workers, nodeExpansion, noBound, nil)
+	return set, val
 }
 
 // MinNodeExpansionParallelWithBound is the NE analogue of
 // MinEdgeExpansionParallelWithBound.
 func MinNodeExpansionParallelWithBound(g *graph.Graph, k, workers, bound int) ([]int, int) {
-	return minExpansionParallel(g, k, -1, workers, nodeExpansion, bound)
+	set, val, _ := minExpansionParallel(g, k, -1, workers, nodeExpansion, bound, nil)
+	return set, val
 }
 
 // MinNodeExpansionParallelContaining is the parallel form of
 // MinNodeExpansionContaining.
 func MinNodeExpansionParallelContaining(g *graph.Graph, k, root, workers int) ([]int, int) {
 	checkRoot(g, root)
-	return minExpansionParallel(g, k, root, workers, nodeExpansion, noBound)
+	set, val, _ := minExpansionParallel(g, k, root, workers, nodeExpansion, noBound, nil)
+	return set, val
 }
 
 // expSearch is one (quantity, k) search sharing the worker pool with the
@@ -71,29 +78,37 @@ type expJob struct {
 	prefix []int8
 }
 
-func minExpansionParallel(g *graph.Graph, k, root, workers int, edge bool, bound int) ([]int, int) {
+func minExpansionParallel(g *graph.Graph, k, root, workers int, edge bool, bound int, mon *solve.Monitor) ([]int, int, bool) {
 	checkSetSize(g, k)
 	if k == 0 || k == g.N() {
-		return prefixSet(k), 0
+		return prefixSet(k), 0, true
 	}
 	if g.N() < 16 {
-		return minExpansion(g, k, root, edge, bound) // not worth the fan-out
+		return minExpansion(g, k, root, edge, bound, mon) // not worth the fan-out
 	}
 	s := &expSearch{k: k, edge: edge}
+	s.sb.mon = mon
 	s.sb.best.Store(initialExpBest(g, edge, bound))
-	runExpansionSearches(g, expansionOrder(g, root), []*expSearch{s}, root >= 0, workers)
+	order := expansionOrder(g, root)
+	runExpansionSearches(g, order, []*expSearch{s}, root >= 0, workers, mon)
 	if s.sb.set == nil {
+		if s.sb.incomplete.Load() {
+			set, val := fallbackExpansionSet(g, order, k, edge)
+			return set, val, false
+		}
 		// bound was below the optimum: rerun unseeded.
-		return minExpansionParallel(g, k, root, workers, edge, noBound)
+		return minExpansionParallel(g, k, root, workers, edge, noBound, mon)
 	}
-	return s.sb.set, int(s.sb.best.Load())
+	return s.sb.set, int(s.sb.best.Load()), !s.sb.incomplete.Load()
 }
 
 // runExpansionSearches drains every prefix subproblem of every search
 // through one pool of workers. Searches are independent (each has its own
 // incumbent), so all jobs are enqueued at once and the pool load-balances
-// across them.
-func runExpansionSearches(g *graph.Graph, order []int32, searches []*expSearch, rootForced bool, workers int) {
+// across them. On cancellation, jobs not run to completion mark their
+// search incomplete; the pool always drains, so the call returns promptly
+// with whatever incumbents were found.
+func runExpansionSearches(g *graph.Graph, order []int32, searches []*expSearch, rootForced bool, workers int, mon *solve.Monitor) {
 	n := g.N()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -120,8 +135,15 @@ func runExpansionSearches(g *graph.Graph, order []int32, searches []*expSearch, 
 		go func() {
 			defer wg.Done()
 			st := newExpState(g, order)
+			st.mon = mon
 			for job := range ch {
 				s := job.search
+				if mon.Stopped() {
+					s.sb.incomplete.Store(true)
+					continue
+				}
+				st.sb = &s.sb
+				st.restartTicks()
 				for i, side := range job.prefix {
 					st.place(int(order[i]), side, s.edge)
 				}
@@ -131,10 +153,18 @@ func runExpansionSearches(g *graph.Graph, order []int32, searches []*expSearch, 
 				for i := len(job.prefix) - 1; i >= 0; i-- {
 					st.unplace(int(order[i]), s.edge)
 				}
+				st.flushTicks()
+				if st.stopped {
+					s.sb.incomplete.Store(true)
+				}
 			}
 		}()
 	}
 	for _, j := range jobs {
+		if mon.Stopped() {
+			j.search.sb.incomplete.Store(true)
+			continue
+		}
 		ch <- j
 	}
 	close(ch)
@@ -167,129 +197,4 @@ func expansionPrefixes(n, depth, k int, rootForced bool) [][]int8 {
 	}
 	gen(0, 0)
 	return out
-}
-
-// NotComputed marks a SurveyResult quantity that was not requested.
-const NotComputed = -1
-
-// SurveyResult holds the exact expansion values certified for one set
-// size. Quantities not requested by the survey options are NotComputed.
-type SurveyResult struct {
-	K     int
-	EE    int   // exact min edge boundary over k-sets (NotComputed if skipped)
-	EESet []int // a minimizing set for EE
-	NE    int   // exact min neighbor count over k-sets (NotComputed if skipped)
-	NESet []int // a minimizing set for NE
-}
-
-// SurveyOptions tune ExpansionSurveyWithOptions.
-type SurveyOptions struct {
-	// EdgeOnly/NodeOnly restrict the survey to one quantity; with neither
-	// (or both) set, both EE and NE are computed.
-	EdgeOnly bool
-	NodeOnly bool
-	// EdgeSeed/NodeSeed return an achievable upper bound on EE(g,k) /
-	// NE(g,k) used to seed that k's incumbent — typically a §4 witness
-	// boundary or a greedy set from package heuristic. nil functions or
-	// negative returns leave the search unseeded.
-	EdgeSeed func(k int) int
-	NodeSeed func(k int) int
-}
-
-// ExpansionSurvey computes EE(g,k) and NE(g,k) exactly for every k in ks,
-// batched: the BFS order is computed once, and one worker pool with
-// per-worker scratch state drains the subproblems of all k jointly. root ≥ 0
-// forces that node into every set (exact on vertex-transitive networks, an
-// upper bound elsewhere); root < 0 searches unrestricted. workers ≤ 0 means
-// GOMAXPROCS.
-func ExpansionSurvey(g *graph.Graph, ks []int, root, workers int) []SurveyResult {
-	return ExpansionSurveyWithOptions(g, ks, root, workers, SurveyOptions{})
-}
-
-// ExpansionSurveyWithOptions is ExpansionSurvey with quantity selection and
-// incumbent seeding.
-func ExpansionSurveyWithOptions(g *graph.Graph, ks []int, root, workers int, opts SurveyOptions) []SurveyResult {
-	if root >= g.N() {
-		panic("exact: root out of range")
-	}
-	if root < 0 {
-		root = -1
-	}
-	doEdge := !opts.NodeOnly || opts.EdgeOnly
-	doNode := !opts.EdgeOnly || opts.NodeOnly
-
-	seedFor := func(f func(int) int, k int) int {
-		if f == nil {
-			return noBound
-		}
-		if b := f(k); b >= 0 {
-			return b
-		}
-		return noBound
-	}
-
-	results := make([]SurveyResult, len(ks))
-	order := expansionOrder(g, root)
-	var searches []*expSearch
-	// target[i] points each search back at its result slot.
-	var target []*SurveyResult
-	for i, k := range ks {
-		checkSetSize(g, k)
-		r := &results[i]
-		r.K, r.EE, r.NE = k, NotComputed, NotComputed
-		if k == 0 || k == g.N() {
-			if doEdge {
-				r.EE, r.EESet = 0, prefixSet(k)
-			}
-			if doNode {
-				r.NE, r.NESet = 0, prefixSet(k)
-			}
-			continue
-		}
-		if doEdge {
-			s := &expSearch{k: k, edge: edgeExpansion}
-			s.sb.best.Store(initialExpBest(g, edgeExpansion, seedFor(opts.EdgeSeed, k)))
-			searches = append(searches, s)
-			target = append(target, r)
-		}
-		if doNode {
-			s := &expSearch{k: k, edge: nodeExpansion}
-			s.sb.best.Store(initialExpBest(g, nodeExpansion, seedFor(opts.NodeSeed, k)))
-			searches = append(searches, s)
-			target = append(target, r)
-		}
-	}
-	if len(searches) > 0 {
-		if g.N() < 16 {
-			// Tiny instances: the fan-out costs more than the search.
-			st := newExpState(g, order)
-			sb := &sharedExpBound{}
-			for _, s := range searches {
-				sb.best.Store(s.sb.best.Load())
-				sb.set = nil
-				dfsExpansion(st, 0, s.k, s.edge, root >= 0, sb)
-				s.sb.best.Store(sb.best.Load())
-				s.sb.set = append([]int(nil), sb.set...)
-				if sb.set == nil {
-					s.sb.set = nil
-				}
-			}
-		} else {
-			runExpansionSearches(g, order, searches, root >= 0, workers)
-		}
-	}
-	for i, s := range searches {
-		set, val := s.sb.set, int(s.sb.best.Load())
-		if set == nil {
-			// The seed undercut the optimum (caller error, but stay exact):
-			// redo this one search unseeded.
-			set, val = minExpansionParallel(g, s.k, root, workers, s.edge, noBound)
-		}
-		if s.edge {
-			target[i].EE, target[i].EESet = val, set
-		} else {
-			target[i].NE, target[i].NESet = val, set
-		}
-	}
-	return results
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/solve"
 )
 
 // expState is the incremental machinery shared by the serial and parallel
@@ -36,6 +37,59 @@ type expState struct {
 	inUnd     int
 	permNbrs  int
 	undWithIn int
+
+	// Cooperative cancellation + telemetry (see bbState.tickNode): local
+	// counters flushed every solve.TickStride explored nodes into mon
+	// (the solve-wide totals) and sb (the per-search totals a survey
+	// reports per row). sb is repointed per job when one state serves
+	// several searches back to back. tickBudget counts DOWN from
+	// solve.TickStride so the per-node fast path is one decrement and one
+	// branch; after a stop it stays pinned at zero, steering every later
+	// tick into the latched slow path.
+	mon        *solve.Monitor
+	sb         *sharedExpBound
+	tickBudget int32
+	prunedTick int32
+	stopped    bool
+}
+
+// tickNode counts one explored node; the stop flag is polled only when the
+// stride budget runs out and then latches.
+func (st *expState) tickNode() bool {
+	st.tickBudget--
+	if st.tickBudget <= 0 {
+		st.flushTicks()
+		return st.stopped
+	}
+	return false
+}
+
+// flushTicks drains the local counters into the current search and the
+// monitor, sampling the stop flag. After a stop it only re-pins the
+// budget: the drained totals were flushed when the stop was first seen and
+// no nodes are explored past it.
+func (st *expState) flushTicks() {
+	if st.stopped {
+		st.tickBudget = 0
+		return
+	}
+	e, p := int64(solve.TickStride-st.tickBudget), int64(st.prunedTick)
+	st.tickBudget, st.prunedTick = solve.TickStride, 0
+	if st.sb != nil && (e != 0 || p != 0) {
+		st.sb.explored.Add(e)
+		st.sb.pruned.Add(p)
+	}
+	if st.mon.Tick(e, p) {
+		st.stopped = true
+		st.tickBudget = 0
+	}
+}
+
+// restartTicks re-arms a state for the next search after a stop (the batch
+// engines reuse one state across jobs).
+func (st *expState) restartTicks() {
+	st.stopped = false
+	st.tickBudget, st.prunedTick = solve.TickStride, 0
 }
 
 func newExpState(g *graph.Graph, order []int32) *expState {
@@ -45,6 +99,8 @@ func newExpState(g *graph.Graph, order []int32) *expState {
 		assign: make([]int8, g.N()),
 		inNbrs: make([]int32, g.N()),
 		maxDeg: g.MaxDegree(),
+
+		tickBudget: solve.TickStride,
 	}
 	for i := range st.assign {
 		st.assign[i] = unassigned
@@ -202,10 +258,19 @@ func (st *expState) nodeLB(k int) int {
 // lock-free on every prune check; improvements take the mutex so the bound
 // and the witness set stay consistent. The same structure serves the serial
 // searches (where the atomics are uncontended) and the parallel workers.
+// explored/pruned accumulate this search's telemetry (a survey reports
+// them per row); incomplete is raised when any of the search's subtrees
+// was abandoned on cancellation, i.e. the result is not a certified
+// optimum.
 type sharedExpBound struct {
 	best atomic.Int64
 	mu   sync.Mutex
 	set  []int
+
+	mon        *solve.Monitor
+	explored   atomic.Int64
+	pruned     atomic.Int64
+	incomplete atomic.Bool
 }
 
 func (sb *sharedExpBound) record(val int, assign []int8) {
@@ -222,13 +287,18 @@ func (sb *sharedExpBound) record(val int, assign []int8) {
 		}
 	}
 	sb.set = set
+	sb.mon.SetIncumbent(int64(val))
 }
 
 // dfsEdgeExpansion explores all decisions for order[idx:] given the prefix
 // already placed in st, recording edge-boundary improvements over sb.best.
 // rootForced skips the exclude branch at idx 0 (the Containing variants).
 func dfsEdgeExpansion(st *expState, idx, k int, rootForced bool, sb *sharedExpBound) {
+	if st.tickNode() {
+		return
+	}
 	if st.edgeLB(k) >= int(sb.best.Load()) {
+		st.prunedTick++
 		return
 	}
 	if st.chosen == k {
@@ -255,7 +325,11 @@ func dfsEdgeExpansion(st *expState, idx, k int, rootForced bool, sb *sharedExpBo
 
 // dfsNodeExpansion is the neighbor-set analogue of dfsEdgeExpansion.
 func dfsNodeExpansion(st *expState, idx, k int, rootForced bool, sb *sharedExpBound) {
+	if st.tickNode() {
+		return
+	}
 	if st.nodeLB(k) >= int(sb.best.Load()) {
+		st.prunedTick++
 		return
 	}
 	if st.chosen == k {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/solve"
 )
 
 // MinBisectionParallel computes the same optimum as MinBisection using a
@@ -16,9 +17,24 @@ import (
 // the exact BW; the witness cut is one optimal bisection (which one may
 // vary between runs when several are optimal).
 func MinBisectionParallel(g *graph.Graph, workers int) (*cut.Cut, int) {
+	c, w, _ := minBisectionParallelSearch(g, workers, 0, nil)
+	return c, w
+}
+
+// minBisectionParallelSearch is the engine behind MinBisectionParallel and
+// SolveBisection. bound > 0 additionally seeds the incumbent with a known
+// achievable capacity (tighter than the internal BFS-prefix seed or not —
+// the tighter of the two wins). The flag reports whether the search ran to
+// completion; a stopped search returns the best incumbent so far (or the
+// BFS-prefix seed), which is a valid bisection but not a certified
+// optimum.
+func minBisectionParallelSearch(g *graph.Graph, workers, bound int, mon *solve.Monitor) (*cut.Cut, int, bool) {
 	n := g.N()
 	if n < 16 {
-		return MinBisection(g) // not worth the fan-out
+		if bound <= 0 {
+			bound = initialBisectionBound(g)
+		}
+		return minBisectionSearch(g, bound, mon) // not worth the fan-out
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,8 +48,13 @@ func MinBisectionParallel(g *graph.Graph, workers int) (*cut.Cut, int) {
 	}
 
 	seedCut := initialBisection(g)
-	shared := sharedBound{}
-	shared.best.Store(int64(seedCut.Capacity() + 1))
+	start := seedCut.Capacity()
+	seeded := bound > 0 && bound < start
+	if seeded {
+		start = bound
+	}
+	shared := sharedBound{mon: mon}
+	shared.best.Store(int64(start + 1))
 
 	// Enumerate prefix assignments with the same constraints as the serial
 	// search (balance caps and the first-node symmetry fix).
@@ -74,15 +95,22 @@ func MinBisectionParallel(g *graph.Graph, workers int) (*cut.Cut, int) {
 		go func() {
 			defer wg.Done()
 			for prefix := range jobs {
+				if mon.Stopped() {
+					continue // drain; remaining subtrees stay unexplored
+				}
 				st := newBBState(g)
+				st.mon = mon
 				for i, s := range prefix {
 					st.place(int(st.order[i]), s)
 				}
 				// Prefixes can already be prunable.
 				if st.curCut+st.minSum >= int(shared.best.Load()) {
+					st.prunedTick++
+					st.flushTicks()
 					continue
 				}
 				parallelDFS(st, len(prefix), half, &shared)
+				st.flushTicks()
 			}
 		}()
 	}
@@ -92,11 +120,23 @@ func MinBisectionParallel(g *graph.Graph, workers int) (*cut.Cut, int) {
 	close(jobs)
 	wg.Wait()
 
+	stopped := mon.Stopped()
 	if shared.side == nil {
-		// Nothing beat the seed: the seed is optimal.
-		return seedCut, seedCut.Capacity()
+		switch {
+		case stopped:
+			// Cancelled before anything beat the seed: the BFS-prefix
+			// seed is feasible but not certified.
+			return seedCut, seedCut.Capacity(), false
+		case seeded:
+			// The external bound undercut BW(g) (or equals it without a
+			// witness): rerun with the internal seed only.
+			return minBisectionParallelSearch(g, workers, 0, mon)
+		default:
+			// Nothing beat the seed: the seed is optimal.
+			return seedCut, seedCut.Capacity(), true
+		}
 	}
-	return cut.New(g, shared.side), int(shared.best.Load())
+	return cut.New(g, shared.side), int(shared.best.Load()), !stopped
 }
 
 // sharedBound is the incumbent shared across workers: best is read
@@ -106,6 +146,7 @@ type sharedBound struct {
 	best atomic.Int64
 	mu   sync.Mutex
 	side []bool
+	mon  *solve.Monitor
 }
 
 func (sb *sharedBound) record(cur int, assign []int8) {
@@ -120,10 +161,15 @@ func (sb *sharedBound) record(cur int, assign []int8) {
 		side[v] = a == sideS
 	}
 	sb.side = side
+	sb.mon.SetIncumbent(int64(cur))
 }
 
 func parallelDFS(st *bbState, idx, half int, sb *sharedBound) {
+	if st.tickNode() {
+		return
+	}
 	if st.curCut+st.minSum >= int(sb.best.Load()) {
+		st.prunedTick++
 		return
 	}
 	if idx == st.g.N() {

@@ -10,6 +10,7 @@ package heuristic
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 
 	"repro/internal/cut"
@@ -24,6 +25,11 @@ type BisectOptions struct {
 	MaxPasses int
 	// Seed makes the search deterministic.
 	Seed int64
+	// Ctx cancels the search between refinement passes. The result is
+	// still always a valid bisection — the best cut refined so far — just
+	// a weaker upper bound than an uncancelled run would produce. nil
+	// means never cancelled.
+	Ctx context.Context
 }
 
 func (o BisectOptions) withDefaults() BisectOptions {
@@ -36,28 +42,54 @@ func (o BisectOptions) withDefaults() BisectOptions {
 	return o
 }
 
+// StartSeed derives the rng seed of multi-start i from the base seed via
+// a splitmix64 mix (the same scheme route.TrialSeed uses for trials).
+// Plain base+i sub-seeds would make runs with base seeds S and S+1 share
+// all but one start stream; the mix decorrelates both nearby bases and
+// nearby starts.
+func StartSeed(base int64, i int) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
 // Bisect searches for a small bisection of g and returns the best cut found.
 // The result is always a valid bisection; its capacity is an upper bound on
-// BW(g).
+// BW(g). Start i draws from StartSeed(opts.Seed, i), and ties between
+// equal capacities resolve to the lowest start index, so Bisect and
+// BisectParallel return identical cuts for the same options.
 func Bisect(g *graph.Graph, opts BisectOptions) *cut.Cut {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	n := g.N()
-	if n == 0 {
+	if g.N() == 0 {
 		return cut.FromSet(g, nil)
 	}
-
 	var best *cut.Cut
 	bestCap := -1
 	for start := 0; start < opts.Starts; start++ {
-		side := randomBalancedSide(n, rng)
-		c := cut.New(g, side)
-		refine(c, opts.MaxPasses)
+		c := oneStart(g, StartSeed(opts.Seed, start), opts.MaxPasses, opts.Ctx)
 		if cap := c.Capacity(); bestCap < 0 || cap < bestCap {
 			best, bestCap = c, cap
 		}
 	}
 	return best
+}
+
+// oneStart runs a single random start: draw a balanced cut from seed,
+// refine it under ctx. Even a pre-cancelled ctx yields a valid (merely
+// unrefined) bisection.
+func oneStart(g *graph.Graph, seed int64, maxPasses int, ctx context.Context) *cut.Cut {
+	rng := rand.New(rand.NewSource(seed))
+	c := cut.New(g, randomBalancedSide(g.N(), rng))
+	refineCtx(c, maxPasses, ctx)
+	return c
+}
+
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // RefineCut runs FM refinement passes on an existing cut in place (it must
@@ -101,11 +133,17 @@ func (h *gainHeap) Pop() interface{} {
 	return item
 }
 
-// refine runs FM passes until a pass yields no improvement or maxPasses is
-// reached. Each pass tentatively moves every node once (always from the
-// currently larger or equal side, keeping balance within one node), tracks
-// the best balanced prefix, and rolls back the rest.
 func refine(c *cut.Cut, maxPasses int) {
+	refineCtx(c, maxPasses, nil)
+}
+
+// refineCtx runs FM passes until a pass yields no improvement, maxPasses
+// is reached, or ctx is cancelled. Each pass tentatively moves every node
+// once (always from the currently larger or equal side, keeping balance
+// within one node), tracks the best balanced prefix, and rolls back the
+// rest. Cancellation is only observed between passes — a completed pass
+// leaves the cut a valid bisection, so stopping there needs no unwinding.
+func refineCtx(c *cut.Cut, maxPasses int, ctx context.Context) {
 	g := c.Graph()
 	n := g.N()
 	gain := make([]int32, n)
@@ -113,6 +151,9 @@ func refine(c *cut.Cut, maxPasses int) {
 	moved := make([]int32, 0, n)
 
 	for pass := 0; pass < maxPasses; pass++ {
+		if cancelled(ctx) {
+			return
+		}
 		startCap := c.Capacity()
 		curCap := startCap
 		bestPrefixCap := startCap

@@ -10,9 +10,12 @@ import (
 
 // BisectParallel runs the multi-start FM search with the starts distributed
 // over worker goroutines. The result is deterministic for a fixed seed and
-// identical to Bisect's when both explore the same starts: each start uses
-// the seed Seed+i, and ties between equal capacities resolve to the lowest
-// start index.
+// identical to Bisect's: each start draws from StartSeed(opts.Seed, i)
+// (a splitmix64 mix, so nearby base seeds share no start streams), and
+// ties between equal capacities resolve to the lowest start index
+// regardless of the work partition. Cancelling opts.Ctx stops refinement
+// early; every start still yields a valid bisection, so the result is a
+// bisection either way.
 func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 	opts = opts.withDefaults()
 	n := g.N()
@@ -24,12 +27,7 @@ func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 		workers = opts.Starts
 	}
 
-	type result struct {
-		start int
-		c     *cut.Cut
-		cap   int
-	}
-	results := make([]result, opts.Starts)
+	results := make([]*cut.Cut, opts.Starts)
 	var wg sync.WaitGroup
 	starts := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -39,12 +37,7 @@ func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 			for start := range starts {
 				// Each start gets its own deterministic sub-seed, so the
 				// work partition does not affect the outcome.
-				c := Bisect(g, BisectOptions{
-					Starts:    1,
-					MaxPasses: opts.MaxPasses,
-					Seed:      opts.Seed + int64(start),
-				})
-				results[start] = result{start, c, c.Capacity()}
+				results[start] = oneStart(g, StartSeed(opts.Seed, start), opts.MaxPasses, opts.Ctx)
 			}
 		}()
 	}
@@ -55,10 +48,10 @@ func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 	wg.Wait()
 
 	best := results[0]
-	for _, r := range results[1:] {
-		if r.cap < best.cap {
-			best = r
+	for _, c := range results[1:] {
+		if c.Capacity() < best.Capacity() {
+			best = c
 		}
 	}
-	return best.c
+	return best
 }

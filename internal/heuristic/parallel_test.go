@@ -1,34 +1,67 @@
 package heuristic
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/topology"
 )
 
-func TestBisectParallelMatchesSerialBest(t *testing.T) {
-	// The parallel search over starts {seed, seed+1, ...} must find a cut
-	// at least as good as any single-start serial run with those seeds,
-	// and be deterministic.
+func TestBisectParallelMatchesSerial(t *testing.T) {
+	// Serial and parallel multi-start draw start i from
+	// StartSeed(seed, i) with lowest-index tie-breaks, so for the same
+	// options they must return identical cuts, independent of the worker
+	// partition — and repeat runs must be deterministic.
 	g := topology.NewWrappedButterfly(8).Graph
-	par := BisectParallel(g, BisectOptions{Starts: 8, Seed: 100})
+	opts := BisectOptions{Starts: 8, Seed: 100}
+	par := BisectParallel(g, opts)
 	if !par.IsBisection() {
 		t.Fatalf("not a bisection")
 	}
-	bestSerial := 1 << 30
-	for i := 0; i < 8; i++ {
-		c := Bisect(g, BisectOptions{Starts: 1, Seed: 100 + int64(i)})
-		if cp := c.Capacity(); cp < bestSerial {
-			bestSerial = cp
+	ser := Bisect(g, opts)
+	if par.Capacity() != ser.Capacity() {
+		t.Errorf("parallel best %d, serial best %d", par.Capacity(), ser.Capacity())
+	}
+	for v := 0; v < g.N(); v++ {
+		if par.InS(v) != ser.InS(v) {
+			t.Fatalf("parallel and serial cuts differ at node %d", v)
 		}
 	}
-	if par.Capacity() != bestSerial {
-		t.Errorf("parallel best %d, serial best %d", par.Capacity(), bestSerial)
-	}
-	again := BisectParallel(g, BisectOptions{Starts: 8, Seed: 100})
+	again := BisectParallel(g, opts)
 	if again.Capacity() != par.Capacity() {
 		t.Errorf("nondeterministic: %d vs %d", again.Capacity(), par.Capacity())
+	}
+}
+
+func TestStartSeedDecorrelatesNearbyBases(t *testing.T) {
+	// The splitmix64 mix must not let base seeds S and S+1 share start
+	// streams (the old Seed+i scheme shared all but one).
+	seen := make(map[int64]bool)
+	for base := int64(0); base < 16; base++ {
+		for i := 0; i < 16; i++ {
+			s := StartSeed(base, i)
+			if seen[s] {
+				t.Fatalf("StartSeed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestBisectCancelledStillBisection(t *testing.T) {
+	g := topology.NewWrappedButterfly(16).Graph
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	ser := Bisect(g, BisectOptions{Starts: 64, Seed: 7, Ctx: ctx})
+	par := BisectParallel(g, BisectOptions{Starts: 64, Seed: 7, Ctx: ctx})
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled searches took %v", took)
+	}
+	if !ser.IsBisection() || !par.IsBisection() {
+		t.Fatal("cancelled search returned a non-bisection")
 	}
 }
 

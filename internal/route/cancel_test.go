@@ -1,0 +1,113 @@
+package route
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/construct"
+	"repro/internal/solve"
+	"repro/internal/topology"
+)
+
+func TestSimulateManyDeadlineZero(t *testing.T) {
+	b := topology.NewButterfly(128)
+	ref := construct.BestPlan(128).Build(b)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	start := time.Now()
+	stats := SimulateMany(b, ref, RandomDestinations, ManyOptions{
+		Trials: 50, Seed: 3, Ctx: ctx,
+	})
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("deadline-zero run took %v", took)
+	}
+	if !stats.Cancelled {
+		t.Fatal("deadline-zero run not marked cancelled")
+	}
+	if stats.Requested != 50 {
+		t.Fatalf("Requested=%d, want 50", stats.Requested)
+	}
+	if stats.Trials != 0 {
+		t.Fatalf("Trials=%d completed under an expired deadline, want 0", stats.Trials)
+	}
+	if stats.MeanSteps != 0 || stats.TotalPackets != 0 {
+		t.Fatal("empty aggregate has non-zero sums")
+	}
+}
+
+func TestSimulateManyCancelledAggregatesCompletedOnly(t *testing.T) {
+	b := topology.NewButterfly(512)
+	ref := construct.BestPlan(512).Build(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	stats := SimulateMany(b, ref, RandomDestinations, ManyOptions{
+		Trials: 100000, Seed: 3, Ctx: ctx,
+	})
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled run took %v", took)
+	}
+	if !stats.Cancelled {
+		t.Fatal("cancelled run not marked")
+	}
+	if stats.Trials >= stats.Requested {
+		t.Fatalf("Trials=%d not below Requested=%d despite cancellation", stats.Trials, stats.Requested)
+	}
+	if stats.Trials > 0 {
+		// The completed trials must aggregate like a plain run of those
+		// trials: close to N packets each (self-destined packets are
+		// dropped), sane step statistics.
+		if stats.MeanPackets <= float64(b.N())/2 || stats.MeanPackets > float64(b.N()) {
+			t.Fatalf("MeanPackets=%v out of range for N=%d", stats.MeanPackets, b.N())
+		}
+		if stats.MinSteps <= 0 || stats.MeanSteps <= 0 {
+			t.Fatal("completed trials have non-positive step stats")
+		}
+	}
+}
+
+func TestSimulateManyUncancelledUnaffected(t *testing.T) {
+	// With a live (never-cancelled) context the aggregate must be
+	// byte-identical to the context-free run at any worker count.
+	b := topology.NewButterfly(16)
+	ref := construct.BestPlan(16).Build(b)
+	want := SimulateMany(b, ref, RandomDestinations, ManyOptions{Trials: 8, Seed: 11, Workers: 1})
+	if want.Cancelled || want.Trials != want.Requested {
+		t.Fatalf("uncancelled run flagged: %+v", want)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 5, 8} {
+		got := SimulateMany(b, ref, RandomDestinations, ManyOptions{
+			Trials: 8, Seed: 11, Workers: workers, Ctx: ctx,
+		})
+		if got.MeanSteps != want.MeanSteps || got.MaxSteps != want.MaxSteps ||
+			got.TotalPackets != want.TotalPackets || got.MeanRatio != want.MeanRatio {
+			t.Fatalf("workers=%d: aggregate differs from serial: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
+func TestSimulateManyProgressReportsTrials(t *testing.T) {
+	b := topology.NewButterfly(64)
+	ref := construct.BestPlan(64).Build(b)
+	var last atomic.Int64
+	stats := SimulateMany(b, ref, RandomDestinations, ManyOptions{
+		Trials: 200, Seed: 1,
+		OnProgress:       func(p solve.Progress) { last.Store(p.Explored) },
+		ProgressInterval: time.Millisecond,
+	})
+	if stats.Trials != 200 {
+		t.Fatalf("Trials=%d, want 200", stats.Trials)
+	}
+	if last.Load() == 0 {
+		t.Skip("run finished before the first progress tick on this machine")
+	}
+	if last.Load() > 200 {
+		t.Fatalf("progress reported %d trials, more than requested", last.Load())
+	}
+}

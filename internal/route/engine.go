@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitutil"
 	"repro/internal/cut"
+	"repro/internal/solve"
 	"repro/internal/topology"
 )
 
@@ -267,7 +268,25 @@ func (st *simState) push(e, pk int32) {
 // increasing id order, then forwards one packet per edge in that same
 // order — the deterministic schedule the reference engine sorts for.
 func (st *simState) run(maxSteps int) SimResult {
-	res := SimResult{Packets: st.npaths}
+	res, _ := st.runMonitored(maxSteps, nil)
+	return res
+}
+
+// stepPollStride is how many simulated steps pass between stop-flag
+// polls in runMonitored: frequent enough that cancellation lands within
+// a few thousand packet moves, sparse enough that the branch stays out
+// of the per-step cost (the single-trial benchmark is alloc-free and
+// runs within noise of the unmonitored engine).
+const stepPollStride = 32
+
+// runMonitored is run with cooperative cancellation: the monitor's stop
+// flag is polled every stepPollStride simulated steps (a step forwards
+// up to one packet per busy edge, so each poll is amortized over many
+// thousands of packet moves). An interrupted trial returns ok=false and
+// leaves the state dirty — its queues still hold packets — so putState
+// drops it instead of pooling it.
+func (st *simState) runMonitored(maxSteps int, mon *solve.Monitor) (res SimResult, ok bool) {
+	res = SimResult{Packets: st.npaths}
 	if st.haveCut {
 		for p := 0; p < st.npaths; p++ {
 			for e := st.pathStart[p]; e < st.pathStart[p+1]; e++ {
@@ -291,7 +310,15 @@ func (st *simState) run(maxSteps int) SimResult {
 			remaining++
 		}
 	}
+	pollIn := stepPollStride
 	for remaining > 0 {
+		pollIn--
+		if pollIn <= 0 {
+			pollIn = stepPollStride
+			if mon.Stopped() {
+				return res, false
+			}
+		}
 		res.Steps++
 		if res.Steps > maxSteps {
 			panic(fmt.Sprintf("route: simulation did not converge within the %d-step limit", maxSteps))
@@ -325,7 +352,7 @@ func (st *simState) run(maxSteps int) SimResult {
 		}
 	}
 	st.dirty = false
-	return res
+	return res, true
 }
 
 // defaultMaxSteps is the non-convergence guard limit: any correct

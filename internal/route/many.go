@@ -1,12 +1,15 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cut"
+	"repro/internal/solve"
 	"repro/internal/topology"
 )
 
@@ -52,6 +55,16 @@ type ManyOptions struct {
 	// TightFactor is the §1.2 tightness threshold: a trial is counted
 	// tight when Steps ≤ TightFactor · CongestionBound (≤0: 2).
 	TightFactor float64
+
+	// Ctx cancels the run: in-flight trials stop mid-simulation and are
+	// discarded; the aggregate covers only the trials that completed
+	// (TrialStats.Cancelled is set, Trials < Requested). nil means never
+	// cancelled.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives progress snapshots (Explored =
+	// completed trials) every ProgressInterval (≤ 0: 1s).
+	OnProgress       func(solve.Progress)
+	ProgressInterval time.Duration
 }
 
 // TrialStats aggregates the Monte-Carlo trials of one SimulateMany call.
@@ -60,7 +73,13 @@ type ManyOptions struct {
 // time ≥ N/(4·BW); ratio fields stay zero when no trial had a positive
 // bound (e.g. with a nil reference cut).
 type TrialStats struct {
-	Trials int
+	// Trials counts the trials the aggregate actually covers; Requested
+	// is what the caller asked for. They differ only when the run was
+	// cancelled (Cancelled true), in which case the aggregate is over the
+	// completed prefix of trials only — valid statistics, smaller sample.
+	Trials    int
+	Requested int
+	Cancelled bool
 
 	TotalPackets int64
 	MeanPackets  float64
@@ -140,7 +159,15 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 		tight = 2
 	}
 
+	mon := solve.Start(solve.Options{
+		Ctx:        opt.Ctx,
+		OnProgress: opt.OnProgress,
+		Interval:   opt.ProgressInterval,
+	})
+	defer mon.Close()
+
 	results := make([]SimResult, trials)
+	completed := make([]bool, trials)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var panicMu sync.Mutex
@@ -162,6 +189,9 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 			defer putState(st)
 			st.setCut(ref)
 			for {
+				if mon.Stopped() {
+					return
+				}
 				t := int(next.Add(1)) - 1
 				if t >= trials {
 					return
@@ -175,7 +205,13 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 				case RandomPermutations:
 					st.compileRandomPermutation(seed)
 				}
-				results[t] = st.run(maxSteps)
+				res, ok := st.runMonitored(maxSteps, mon)
+				if !ok {
+					return // interrupted mid-trial; discard the partial run
+				}
+				results[t] = res
+				completed[t] = true
+				mon.Tick(1, 0)
 			}
 		}()
 	}
@@ -183,21 +219,31 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 	if panicked != nil {
 		panic(panicked)
 	}
-	return aggregateTrials(results, tight)
+	return aggregateTrials(results, completed, tight, trials, mon.Stopped())
 }
 
-func aggregateTrials(results []SimResult, tight float64) TrialStats {
+// aggregateTrials folds the completed trials into a TrialStats. Cancelled
+// runs aggregate only the trials that finished; a run cancelled before
+// any trial completed returns an empty (but well-formed) aggregate.
+func aggregateTrials(results []SimResult, completed []bool, tight float64, requested int, cancelled bool) TrialStats {
 	s := TrialStats{
-		Trials:       len(results),
+		Requested:    requested,
+		Cancelled:    cancelled,
 		TightFactor:  tight,
 		MaxQueueHist: make(map[int]int),
-		MinSteps:     results[0].Steps,
-		MinBound:     results[0].CongestionBound,
 	}
 	var sumSteps, sumCross, sumBound, sumQueue int64
 	var sumRatio float64
 	ratios := 0
-	for _, r := range results {
+	for i, r := range results {
+		if !completed[i] {
+			continue
+		}
+		if s.Trials == 0 {
+			s.MinSteps = r.Steps
+			s.MinBound = r.CongestionBound
+		}
+		s.Trials++
 		s.TotalPackets += int64(r.Packets)
 		sumSteps += int64(r.Steps)
 		sumCross += int64(r.CutCrossings)
@@ -234,12 +280,14 @@ func aggregateTrials(results []SimResult, tight float64) TrialStats {
 			}
 		}
 	}
-	n := float64(len(results))
-	s.MeanPackets = float64(s.TotalPackets) / n
-	s.MeanSteps = float64(sumSteps) / n
-	s.MeanCrossings = float64(sumCross) / n
-	s.MeanBound = float64(sumBound) / n
-	s.MeanMaxQueue = float64(sumQueue) / n
+	if s.Trials > 0 {
+		n := float64(s.Trials)
+		s.MeanPackets = float64(s.TotalPackets) / n
+		s.MeanSteps = float64(sumSteps) / n
+		s.MeanCrossings = float64(sumCross) / n
+		s.MeanBound = float64(sumBound) / n
+		s.MeanMaxQueue = float64(sumQueue) / n
+	}
 	if ratios > 0 {
 		s.MeanRatio = sumRatio / float64(ratios)
 	}
