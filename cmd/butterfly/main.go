@@ -4,9 +4,13 @@
 // with its straight/cross edge pattern, optional Graphviz DOT output, and
 // the Beneš rearrangeability check behind Lemma 2.5.
 //
+// -json writes the structure table and the Beneš check as a
+// machine-readable run manifest.
+//
 // Usage:
 //
-//	butterfly [-n 8] [-wrap] [-diagram] [-dot]
+//	butterfly [-n 8] [-wrap] [-diagram] [-dot] [-json path] [-trace path]
+//	          [-metrics]
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/render"
 	"repro/internal/topology"
@@ -24,7 +29,10 @@ func main() {
 	wrap := flag.Bool("wrap", false, "inspect Wn instead of Bn")
 	diagram := flag.Bool("diagram", true, "print the Figure 1 style diagram (Bn only, n ≤ 16)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT to stdout instead of the report")
+	out := cli.RegisterOutput()
 	flag.Parse()
+
+	cli.Validate(cli.PowerOfTwo("n", *n))
 
 	if *dot {
 		var b *topology.Butterfly
@@ -36,6 +44,8 @@ func main() {
 		render.ButterflyDOT(os.Stdout, b, nil)
 		return
 	}
+
+	out.Start("butterfly")
 
 	reports := []core.StructureReport{core.ButterflyStructure(*n, *wrap)}
 	if !*wrap && *n >= 4 {
@@ -51,6 +61,13 @@ func main() {
 	routed, total := core.BenesRearrangeabilityCheck(maxInt(*n, 4), 100, 7)
 	fmt.Printf("\nBeneš rearrangeability (Lemma 2.5 substrate): %d/%d permutations routed edge-disjointly\n",
 		routed, total)
+
+	m := out.Manifest()
+	m.AddTable("structure", "E1: structure (Fig. 1, §1.1)", reports).
+		AddTable("benes", "Beneš rearrangeability (Lemma 2.5)", []core.BenesCheck{
+			{N: maxInt(*n, 4), Routed: routed, Total: total},
+		})
+	out.Finish(m)
 }
 
 func maxInt(a, b int) int {

@@ -5,11 +5,14 @@
 //
 // -timeout bounds the whole run: expiring mid-search degrades exact values
 // to best-found incumbents, flagged "no" in the exact? column, instead of
-// running forever. -progress streams solver telemetry to stderr.
+// running forever. -progress streams solver telemetry to stderr. -json
+// writes every table as a machine-readable run manifest; -trace streams
+// solver span events as JSONL.
 //
 // Usage:
 //
-//	bwtable [-exact-nodes N] [-max-log 20] [-timeout 0] [-progress] [-pprof addr]
+//	bwtable [-exact-nodes N] [-max-log 20] [-timeout 0] [-progress]
+//	        [-pprof addr] [-json path] [-trace path] [-metrics]
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 	exactNodes := flag.Int("exact-nodes", 32, "run the exact solver on networks up to this many nodes")
 	maxLog := flag.Int("max-log", 20, "largest log n for the sub-n construction sweep")
 	long := cli.RegisterLongRun()
+	out := cli.RegisterOutput()
 	flag.Parse()
 
 	cli.Validate(
@@ -36,12 +40,19 @@ func main() {
 
 	ctx, cancel, onProgress := long.Start()
 	defer cancel()
-	budget := core.BisectionBudget{ExactNodes: *exactNodes, Ctx: ctx, OnProgress: onProgress}
+	out.Start("bwtable")
+	budget := core.BisectionBudget{
+		ExactNodes: *exactNodes,
+		Ctx:        ctx,
+		OnProgress: onProgress,
+		Trace:      out.Tracer(),
+	}
 
 	var butterflies []core.BisectionReport
 	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
 		r, err := core.ButterflyBisection(n, budget)
 		if err != nil {
+			out.Finish(nil)
 			fmt.Fprintf(os.Stderr, "bwtable: %v\n", err)
 			os.Exit(1)
 		}
@@ -64,15 +75,29 @@ func main() {
 	fmt.Print(core.RenderBisectionTable("BW(CCCn) = n/2 (Lemma 3.3)", cccs))
 	fmt.Println()
 
+	m := out.Manifest()
+	m.AddTable("bisection.bn", "BW(Bn) (Thm 2.20)", butterflies).
+		AddTable("bisection.wn", "BW(Wn) = n (Lemma 3.2)", wrapped).
+		AddTable("bisection.ccc", "BW(CCCn) = n/2 (Lemma 3.3)", cccs)
+
 	var dims []int
 	for d := 6; d <= *maxLog; d++ {
 		dims = append(dims, d)
 	}
 	if len(dims) == 0 {
 		fmt.Fprintln(os.Stderr, "bwtable: -max-log below 6, skipping the sweep")
+		out.Finish(m)
 		return
 	}
-	fmt.Print(core.RenderSubFolkloreTable(core.SubFolkloreSweep(dims)))
+	sweep := core.SubFolkloreSweep(dims)
+	fmt.Print(core.RenderSubFolkloreTable(sweep))
 
-	fmt.Printf("\nLemma 3.1 check: BW(B4, inputs) = %d (lemma: ≥ n = 4)\n", core.InputBisectionCheck(4))
+	inputCheck := core.InputBisectionCheck(4)
+	fmt.Printf("\nLemma 3.1 check: BW(B4, inputs) = %d (lemma: ≥ n = 4)\n", inputCheck)
+
+	m.AddTable("bisection.sub_folklore", "sub-n plans vs folklore", sweep).
+		AddTable("checks", "scalar verification results", []core.CheckRow{
+			{Name: "input_bisection_b4", Value: inputCheck},
+		})
+	out.Finish(m)
 }

@@ -8,12 +8,15 @@
 // internal/exact; -workers sizes its pool and -kmax widens the set sizes it
 // is allowed to certify. -timeout bounds the run: searches still open at
 // the deadline report their incumbent, flagged "no" in the exact? column.
-// -progress streams explored/pruned/incumbent telemetry to stderr.
+// -progress streams explored/pruned/incumbent telemetry to stderr. -json
+// writes the four tables as a machine-readable run manifest; -trace
+// streams survey span events as JSONL.
 //
 // Usage:
 //
 //	exptable [-n 256] [-max-d 4] [-exact-nodes 32] [-kmax 8] [-workers 0]
 //	         [-timeout 0] [-progress] [-pprof addr]
+//	         [-json path] [-trace path] [-metrics]
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	kmax := flag.Int("kmax", 8, "largest set size certified by the exact engine")
 	workers := flag.Int("workers", 0, "exact-engine worker goroutines (0 = GOMAXPROCS)")
 	long := cli.RegisterLongRun()
+	out := cli.RegisterOutput()
 	flag.Parse()
 
 	cli.Validate(
@@ -43,13 +47,16 @@ func main() {
 
 	ctx, cancel, onProgress := long.Start()
 	defer cancel()
+	out.Start("exptable")
 	opts := core.ExpansionTableOptions{
 		ExactNodes: *exactNodes,
 		KMax:       *kmax,
 		Workers:    *workers,
 		Ctx:        ctx,
 		OnProgress: onProgress,
+		Trace:      out.Tracer(),
 	}
+	m := out.Manifest()
 	for _, kind := range []core.ExpansionKind{core.WnEdge, core.WnNode, core.BnEdge, core.BnNode} {
 		// Each kind's lemma construction has its own valid dimension range;
 		// clamp so one sweep can cover all four tables.
@@ -64,5 +71,7 @@ func main() {
 		rows := core.ExpansionTable(kind, *n, dims, opts)
 		fmt.Print(core.RenderExpansionTable(rows))
 		fmt.Println()
+		m.AddTable("expansion."+kind.Slug(), kind.String()+" (§4.3)", rows)
 	}
+	out.Finish(m)
 }

@@ -3,10 +3,13 @@
 // (Theorem 2.20's convergence), and BW(MOS_{j,j},M2)/j² against j
 // (Lemma 2.19's convergence). Columns include the theory limits.
 //
+// -json writes the selected series as a machine-readable run manifest
+// (rows mirror the CSV columns).
+//
 // Usage:
 //
-//	figdata -series bisection [-max-log 30]
-//	figdata -series mos [-max-j 1024]
+//	figdata -series bisection [-max-log 30] [-json path]
+//	figdata -series mos [-max-j 1024] [-json path]
 package main
 
 import (
@@ -23,6 +26,7 @@ func main() {
 	series := flag.String("series", "bisection", `"bisection" or "mos"`)
 	maxLog := flag.Int("max-log", 30, "largest log n for the bisection series")
 	maxJ := flag.Int("max-j", 1024, "largest j for the mos series")
+	out := cli.RegisterOutput()
 	flag.Parse()
 
 	cli.Validate(
@@ -31,25 +35,34 @@ func main() {
 		cli.Range("max-log", *maxLog, 6, 48),
 		cli.Positive("max-j", *maxJ),
 	)
+	out.Start("figdata")
+	m := out.Manifest()
 
 	switch *series {
 	case "bisection":
 		fmt.Println("log_n,j,a,b,capacity_over_n,folklore,theory_limit")
+		var plans []construct.Plan
 		for d := 6; d <= *maxLog; d++ {
 			p := construct.BestPlan(1 << d)
+			plans = append(plans, *p)
 			fmt.Printf("%d,%d,%d,%d,%.6f,1.0,%.6f\n",
 				d, p.J, p.A, p.B, p.Ratio, construct.TheoreticalRatio)
 		}
+		m.AddTable("figdata.bisection", "BW(Bn)/n construction ratio vs log n", plans)
 	case "mos":
 		fmt.Println("j,capacity,ratio,x,y,limit")
+		var results []mos.Result
 		for j := 2; j <= *maxJ; j *= 2 {
 			r := mos.M2BisectionWidth(j)
+			results = append(results, r)
 			fmt.Printf("%d,%d,%.6f,%.6f,%.6f,%.6f\n",
 				r.J, r.Capacity, r.Ratio,
 				float64(r.A)/float64(r.J), float64(r.B)/float64(r.J), mos.Limit)
 		}
+		m.AddTable("figdata.mos", "BW(MOS_{j,j},M2)/j² vs j", results)
 	default:
 		fmt.Fprintf(os.Stderr, "figdata: unknown series %q\n", *series)
 		os.Exit(2)
 	}
+	out.Finish(m)
 }

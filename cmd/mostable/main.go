@@ -3,25 +3,37 @@
 // BW(MOS_{j,j},M2)/j² descending to √2−1 and the optimal class fractions
 // converging to (√½,√½) (Lemmas 2.17–2.19).
 //
+// -json writes the sweep as a machine-readable run manifest.
+//
 // Usage:
 //
-//	mostable [-max-j 1024]
+//	mostable [-max-j 1024] [-json path] [-trace path] [-metrics]
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
 func main() {
 	maxJ := flag.Int("max-j", 1024, "largest j in the sweep (doubling from 2)")
+	out := cli.RegisterOutput()
 	flag.Parse()
+
+	cli.Validate(cli.Positive("max-j", *maxJ))
+	out.Start("mostable")
 
 	var js []int
 	for j := 2; j <= *maxJ; j *= 2 {
 		js = append(js, j)
 	}
-	fmt.Print(core.RenderMOSTable(core.MOSConvergence(js)))
+	results := core.MOSConvergence(js)
+	fmt.Print(core.RenderMOSTable(results))
+
+	m := out.Manifest()
+	m.AddTable("mos", "BW(MOS_{j,j}, M2)/j² → √2−1 (Lemmas 2.17–2.19)", results)
+	out.Finish(m)
 }

@@ -10,12 +10,14 @@
 // -timeout bounds the whole run: at the deadline, in-flight trials are
 // discarded and each row aggregates only its completed trials (the trials
 // column then reads "done of requested"). -progress streams completed
-// trial counts to stderr.
+// trial counts to stderr. -json writes both tables as a machine-readable
+// run manifest; -trace streams per-trial events as JSONL.
 //
 // Usage:
 //
 //	routesim [-seed 1] [-max-log 9] [-trials 100] [-workers 0]
 //	         [-timeout 0] [-progress] [-pprof addr]
+//	         [-json path] [-trace path] [-metrics]
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	trials := flag.Int("trials", 100, "Monte-Carlo trials per row")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
 	long := cli.RegisterLongRun()
+	out := cli.RegisterOutput()
 	flag.Parse()
 
 	cli.Validate(
@@ -44,7 +47,15 @@ func main() {
 
 	ctx, cancel, onProgress := long.Start()
 	defer cancel()
-	opt := core.RoutingOptions{Trials: *trials, Workers: *workers, Ctx: ctx, OnProgress: onProgress}
+	out.Start("routesim")
+
+	opt := core.RoutingOptions{
+		Trials:     *trials,
+		Workers:    *workers,
+		Ctx:        ctx,
+		OnProgress: onProgress,
+		Trace:      out.Tracer(),
+	}
 	var random, perms []core.RoutingReport
 	for d := 3; d <= *maxLog; d++ {
 		n := 1 << d
@@ -55,4 +66,10 @@ func main() {
 	fmt.Print(core.RenderRoutingTable("Random destinations on Bn: time vs the N/(4·BW)-style bound (§1.2)", random))
 	fmt.Println()
 	fmt.Print(core.RenderRoutingTable("Random permutations on Bn (monotone paths)", perms))
+
+	m := out.Manifest()
+	m.Seed = *seed
+	m.AddTable("routing.random", "Random destinations on Bn (§1.2)", random).
+		AddTable("routing.permutation", "Random permutations on Bn (monotone paths)", perms)
+	out.Finish(m)
 }

@@ -1,23 +1,31 @@
 // Package cli holds the shared command-line plumbing of the repro
 // binaries: fail-fast validation of nonsensical flag values (rejected with
 // usage and exit code 2, like flag-parse errors), -timeout contexts,
-// -progress printers, and the optional -pprof debug server.
+// -progress printers, the optional -pprof debug server, and the -json /
+// -trace / -metrics machine-readable output bundle.
 package cli
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
 // exit is swapped out by tests; production code always calls os.Exit.
 var exit = os.Exit
+
+// stderr is swapped out by tests to capture warnings and progress lines.
+var stderr io.Writer = os.Stderr
 
 // Positive rejects flag values that must be at least one (trial counts,
 // set sizes): a zero-trial simulation or zero-size table is a typo, not a
@@ -63,14 +71,14 @@ func Validate(errs ...error) {
 	bad := false
 	for _, err := range errs {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
+			fmt.Fprintf(stderr, "%s: %v\n", os.Args[0], err)
 			bad = true
 		}
 	}
 	if !bad {
 		return
 	}
-	fmt.Fprintln(os.Stderr, "usage:")
+	fmt.Fprintln(stderr, "usage:")
 	printUsage()
 	exit(2)
 }
@@ -120,26 +128,148 @@ func WithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 
 // ProgressPrinter returns a -progress callback writing one status line per
 // snapshot to stderr, or nil when disabled — so callers can pass the
-// result straight into an options struct.
+// result straight into an options struct. Lines carry the solver label
+// (Progress.Solver) and are serialized under a mutex: concurrent solvers
+// (the parallel exact engines, the trial workers) share one callback, and
+// unserialized writes interleave mid-line.
 func ProgressPrinter(enabled bool) func(solve.Progress) {
 	if !enabled {
 		return nil
 	}
+	var mu sync.Mutex
 	return func(p solve.Progress) {
-		fmt.Fprintf(os.Stderr, "progress: %s\n", p)
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Solver != "" {
+			fmt.Fprintf(stderr, "progress: [%s] %s\n", p.Solver, p)
+			return
+		}
+		fmt.Fprintf(stderr, "progress: %s\n", p)
 	}
 }
 
-// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") when
-// non-empty. Failures to bind are reported, not fatal: profiling is a
-// diagnostic aid, never a reason to abort the computation.
+// registerMetricsHandler exposes the default metrics registry on the same
+// mux as /debug/pprof, once per process.
+var registerMetricsHandler = sync.OnceFunc(func() {
+	http.Handle("/debug/metrics", obs.Default)
+})
+
+// StartPprof serves net/http/pprof plus /debug/metrics on addr (e.g.
+// "localhost:6060") when non-empty. The listener is bound synchronously so
+// a bad address or an occupied port surfaces as an immediate stderr
+// warning instead of a silently dead goroutine; failures are reported, not
+// fatal, because profiling is a diagnostic aid, never a reason to abort
+// the computation.
 func StartPprof(addr string) {
 	if addr == "" {
 		return
 	}
+	registerMetricsHandler()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "warning: pprof server on %s failed to start: %v\n", addr, err)
+		return
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(stderr, "warning: pprof server: %v\n", err)
 		}
 	}()
+}
+
+// Output bundles the machine-readable output flags shared by every
+// command: -json (run manifest), -trace (JSONL solver trace) and -metrics
+// (end-of-run registry dump). Register it before flag.Parse, Start after,
+// and Finish once the command's tables are built.
+type Output struct {
+	JSON    *string
+	Trace   *string
+	Metrics *bool
+
+	command   string
+	begin     time.Time
+	tracer    *obs.Tracer
+	traceFile *os.File
+}
+
+// RegisterOutput declares -json, -trace and -metrics on the default flag
+// set.
+func RegisterOutput() *Output {
+	return &Output{
+		JSON:    flag.String("json", "", "write a machine-readable run manifest (JSON) to this path"),
+		Trace:   flag.String("trace", "", "write solver trace events (JSONL) to this path"),
+		Metrics: flag.Bool("metrics", false, "dump the metrics registry to stderr at exit"),
+	}
+}
+
+// Start opens the trace sink (if -trace was given) and stamps the run
+// start. An unwritable trace path is fatal: the user asked for the file.
+func (o *Output) Start(command string) {
+	o.command = command
+	o.begin = time.Now()
+	if *o.Trace == "" {
+		return
+	}
+	f, err := os.Create(*o.Trace)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: -trace: %v\n", os.Args[0], err)
+		exit(1)
+		return
+	}
+	o.traceFile = f
+	o.tracer = obs.NewTracer(f)
+}
+
+// Tracer returns the -trace tracer, or nil when tracing is off (safe to
+// pass straight into options structs).
+func (o *Output) Tracer() *obs.Tracer { return o.tracer }
+
+// Finish completes the run: it stamps the manifest with the command line,
+// flag values, environment, elapsed time and the metrics snapshot, writes
+// it to -json (when requested), closes the trace sink, and dumps the
+// registry to stderr under -metrics. A nil manifest skips the -json path
+// (callers that failed before producing tables still flush their trace).
+// Write failures are fatal: silent partial output is worse than an exit
+// code.
+func (o *Output) Finish(m *obs.Manifest) {
+	if m != nil && *o.JSON != "" {
+		m.Args = append([]string(nil), os.Args[1:]...)
+		m.Flags = flagValues()
+		m.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		m.ElapsedMS = float64(time.Since(o.begin)) / float64(time.Millisecond)
+		env := obs.CaptureEnvironment()
+		m.Env = &env
+		m.Metrics = obs.Default.Snapshot()
+		if err := m.WriteFile(*o.JSON); err != nil {
+			fmt.Fprintf(stderr, "%s: -json: %v\n", os.Args[0], err)
+			exit(1)
+		}
+	}
+	if o.traceFile != nil {
+		if err := o.tracer.Err(); err != nil {
+			fmt.Fprintf(stderr, "warning: -trace: %v\n", err)
+		}
+		if err := o.traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "warning: -trace: %v\n", err)
+		}
+	}
+	if *o.Metrics {
+		fmt.Fprintf(stderr, "metrics (%s):\n", o.command)
+		if err := obs.Default.WriteJSON(stderr); err != nil {
+			fmt.Fprintf(stderr, "warning: -metrics: %v\n", err)
+		}
+	}
+}
+
+// Manifest starts a run manifest for the command named in Start.
+func (o *Output) Manifest() *obs.Manifest { return obs.NewManifest(o.command) }
+
+// flagValues snapshots every registered flag's current value (defaults
+// included), making manifests self-describing.
+func flagValues() map[string]string {
+	flags := make(map[string]string)
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		flags[f.Name] = f.Value.String()
+	})
+	return flags
 }

@@ -1,10 +1,21 @@
 package cli
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/solve"
 )
 
 func TestCheckers(t *testing.T) {
@@ -80,4 +91,139 @@ func TestProgressPrinter(t *testing.T) {
 	if ProgressPrinter(true) == nil {
 		t.Fatal("enabled printer is nil")
 	}
+}
+
+func TestProgressPrinterLabelsAndSerializes(t *testing.T) {
+	var buf bytes.Buffer
+	stderr = &buf
+	defer func() { stderr = os.Stderr }()
+
+	print := ProgressPrinter(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				print(solve.Progress{Solver: fmt.Sprintf("solver-%d", i), Explored: int64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d (interleaved writes?)", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "progress: [solver-") {
+			t.Fatalf("line %q does not carry the solver label", line)
+		}
+	}
+}
+
+func TestProgressPrinterUnlabelled(t *testing.T) {
+	var buf bytes.Buffer
+	stderr = &buf
+	defer func() { stderr = os.Stderr }()
+
+	ProgressPrinter(true)(solve.Progress{Explored: 7})
+	if got := buf.String(); strings.Contains(got, "[") || !strings.HasPrefix(got, "progress: explored=7") {
+		t.Fatalf("unlabelled line = %q", got)
+	}
+}
+
+func TestStartPprofWarnsOnBadAddress(t *testing.T) {
+	var buf bytes.Buffer
+	stderr = &buf
+	defer func() { stderr = os.Stderr }()
+
+	StartPprof("256.256.256.256:99999")
+	if !strings.Contains(buf.String(), "warning: pprof server") {
+		t.Fatalf("no startup warning on stderr, got %q", buf.String())
+	}
+}
+
+func TestStartPprofServesMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	stderr = &buf
+	defer func() { stderr = os.Stderr }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	StartPprof(addr)
+	if warned := buf.String(); warned != "" {
+		t.Fatalf("unexpected warning: %q", warned)
+	}
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/debug/metrics")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("GET /debug/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("status %d, body %q", resp.StatusCode, body)
+	}
+}
+
+func TestOutputManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+
+	o := &Output{JSON: &jsonPath, Trace: &tracePath, Metrics: new(bool)}
+	o.Start("testcmd")
+	if o.Tracer() == nil {
+		t.Fatal("tracer nil with -trace set")
+	}
+	o.Tracer().Event("hello", nil)
+
+	m := o.Manifest()
+	m.Seed = 42
+	m.AddTable("t", "a table", []int{1, 2, 3})
+	o.Finish(m)
+
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := obs.DecodeManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != "testcmd" || got.Seed != 42 || got.Table("t") == nil {
+		t.Fatalf("manifest round trip = %+v", got)
+	}
+	if got.Env == nil || got.Env.GOOS == "" || got.Flags == nil {
+		t.Fatalf("manifest missing environment/flags: %+v", got)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"hello"`) {
+		t.Fatalf("trace file missing event: %q", trace)
+	}
+}
+
+func TestOutputWithoutFlagsIsInert(t *testing.T) {
+	o := &Output{JSON: new(string), Trace: new(string), Metrics: new(bool)}
+	o.Start("noop")
+	if o.Tracer() != nil {
+		t.Fatal("tracer non-nil without -trace")
+	}
+	o.Finish(nil)
+	o.Finish(o.Manifest()) // no -json path: must not write or exit
 }

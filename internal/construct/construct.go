@@ -26,7 +26,16 @@ import (
 
 	"repro/internal/bitutil"
 	"repro/internal/cut"
+	"repro/internal/obs"
 	"repro/internal/topology"
+)
+
+// Registry metrics of the virtual plan evaluator: whole-plan counts only
+// (the per-column loop is the hot path and stays untouched).
+var (
+	metricVirtualEvals     = obs.NewCounter("construct.virtual_evals")
+	metricVirtualCancelled = obs.NewCounter("construct.virtual_evals_cancelled")
+	metricVirtualColumns   = obs.NewCounter("construct.virtual_columns")
 )
 
 // ColumnBisection returns the folklore bisection of Bn or Wn: S is the set
@@ -66,16 +75,19 @@ type compQuota struct {
 // the per-component quotas, and the predicted capacity. Build materializes
 // it; InA evaluates it virtually for networks too large to materialize.
 type Plan struct {
-	N    int // columns
-	Dim  int // log n
-	J    int // classes per side (power of two)
-	LogJ int
-	A, B int // |X| and |Y|: side-A class counts for suffix and prefix classes
+	N    int `json:"n"`   // columns
+	Dim  int `json:"dim"` // log n
+	J    int `json:"j"`   // classes per side (power of two)
+	LogJ int `json:"log_j"`
+	// A and B are |X| and |Y|: side-A class counts for suffix and prefix
+	// classes.
+	A int `json:"a"`
+	B int `json:"b"`
 
-	Groups     int // capacity in units of edge groups
-	GroupEdges int // edges per group: 2n/j²
-	Capacity   int // Groups · GroupEdges
-	Ratio      float64
+	Groups     int     `json:"groups"`      // capacity in units of edge groups
+	GroupEdges int     `json:"group_edges"` // edges per group: 2n/j²
+	Capacity   int     `json:"capacity"`    // Groups · GroupEdges
+	Ratio      float64 `json:"ratio"`
 
 	quotas []compQuota // indexed by comp id p*J + s
 }
@@ -365,9 +377,12 @@ func (p *Plan) EvaluateVirtualParallelCtx(ctx context.Context, workers int) (cap
 		}(wk, lo, hi)
 	}
 	wg.Wait()
+	metricVirtualEvals.Inc()
 	if cerr := ctx.Err(); cerr != nil {
+		metricVirtualCancelled.Inc()
 		return 0, 0, fmt.Errorf("construct: virtual evaluation of n=%d plan interrupted: %w", n, cerr)
 	}
+	metricVirtualColumns.Add(int64(n))
 	for _, pt := range parts {
 		capacity += pt.capacity
 		sizeA += pt.sizeA

@@ -9,41 +9,48 @@ import (
 	"repro/internal/embed"
 	"repro/internal/exact"
 	"repro/internal/heuristic"
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 )
 
 // BisectionReport collects everything this reproduction knows about the
-// bisection width of one network instance (experiments E2, E4, E5).
+// bisection width of one network instance (experiments E2, E4, E5). The
+// JSON tags are the manifest schema; telemetry fields (explored, pruned,
+// elapsed_ms) are normalized away by the golden tests but kept in real
+// manifests so a slow solve is attributable.
 type BisectionReport struct {
-	Network string
-	Nodes   int
-	Edges   int
+	Network string `json:"network"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
 
 	// Exact is the BW value from branch-and-bound, or Unknown beyond the
 	// exact-size budget. It is the certified optimum only when
 	// ExactComplete is true; a cancelled solve leaves the best incumbent
 	// here (an upper bound) with ExactComplete false.
-	Exact int
+	Exact int `json:"exact"`
 	// ExactComplete reports whether the exact search ran to completion.
-	ExactComplete bool
-	// Explored counts the branch-and-bound nodes the exact search
-	// processed (0 when the exact solver was skipped).
-	Explored int64
+	ExactComplete bool `json:"exact_complete"`
+	// Explored/Pruned count the branch-and-bound nodes the exact search
+	// processed / cut off; ElapsedMS is its wall time (all zero when the
+	// exact solver was skipped).
+	Explored  int64   `json:"explored"`
+	Pruned    int64   `json:"pruned"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// Heuristic is the best upper bound found by FM multi-start search, or
 	// Unknown if skipped.
-	Heuristic int
+	Heuristic int `json:"heuristic"`
 	// Constructed is the capacity of the paper's explicit cut (column cut,
 	// sub-n plan, or dimension cut).
-	Constructed int
+	Constructed int `json:"constructed"`
 	// LowerBound is a certified lower bound (embedding congestion
 	// argument), or Unknown.
-	LowerBound int
+	LowerBound int `json:"lower_bound"`
 	// Theory is the paper's asymptotic value for this network.
-	Theory float64
+	Theory float64 `json:"theory"`
 	// TheoryLabel names the paper result backing Theory.
-	TheoryLabel string
+	TheoryLabel string `json:"theory_label"`
 }
 
 // BisectionBudget bounds the expensive computations in a report.
@@ -68,14 +75,23 @@ type BisectionBudget struct {
 	// ProgressInterval (≤ 0: 1s) while an exact search runs.
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Trace, when non-nil, receives solver span events (labelled with the
+	// network name).
+	Trace *obs.Tracer
 }
 
-func (b BisectionBudget) solveOptions(bound int) exact.SolveOptions {
+func (b BisectionBudget) solveOptions(label string, bound int) exact.SolveOptions {
 	return exact.SolveOptions{
 		Bound:            bound,
+		Label:            label,
+		Trace:            b.Trace,
 		OnProgress:       b.OnProgress,
 		ProgressInterval: b.ProgressInterval,
 	}
+}
+
+func (b BisectionBudget) bisectOptions(label string) heuristic.BisectOptions {
+	return heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: b.Ctx, Label: label, Trace: b.Trace}
 }
 
 // recordSolve copies one exact-solver outcome into the report.
@@ -83,6 +99,13 @@ func (r *BisectionReport) recordSolve(res exact.BisectionResult) {
 	r.Exact = res.Width
 	r.ExactComplete = res.Exact
 	r.Explored = res.Explored
+	r.Pruned = res.Pruned
+	r.ElapsedMS = durationMS(res.Elapsed)
+}
+
+// durationMS renders telemetry durations as milliseconds for manifests.
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 func (b BisectionBudget) withDefaults() BisectionBudget {
@@ -128,10 +151,10 @@ func ButterflyBisection(n int, budget BisectionBudget) (BisectionReport, error) 
 			rep.Constructed = construct.ColumnBisection(b).Capacity()
 		}
 		if nodes <= budget.ExactNodes {
-			rep.recordSolve(exact.SolveBisection(budget.Ctx, b.Graph, budget.solveOptions(rep.Constructed)))
+			rep.recordSolve(exact.SolveBisection(budget.Ctx, b.Graph, budget.solveOptions("bisection "+rep.Network, rep.Constructed)))
 		}
 		if nodes <= budget.HeuristicNodes {
-			h := heuristic.BisectParallel(b.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx})
+			h := heuristic.BisectParallel(b.Graph, budget.bisectOptions("bisection "+rep.Network))
 			rep.Heuristic = h.Capacity()
 		}
 		if nodes <= budget.ExactNodes {
@@ -178,10 +201,10 @@ func WrappedBisection(n int, budget BisectionBudget) BisectionReport {
 	w := topology.NewWrappedButterfly(n)
 	rep.Constructed = construct.ColumnBisection(w).Capacity()
 	if rep.Nodes <= budget.ExactNodes {
-		rep.recordSolve(exact.SolveBisection(budget.Ctx, w.Graph, budget.solveOptions(rep.Constructed)))
+		rep.recordSolve(exact.SolveBisection(budget.Ctx, w.Graph, budget.solveOptions("bisection "+rep.Network, rep.Constructed)))
 	}
 	if rep.Nodes <= budget.HeuristicNodes {
-		rep.Heuristic = heuristic.BisectParallel(w.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx}).Capacity()
+		rep.Heuristic = heuristic.BisectParallel(w.Graph, budget.bisectOptions("bisection "+rep.Network)).Capacity()
 	}
 	return rep
 }
@@ -203,10 +226,10 @@ func CCCBisection(n int, budget BisectionBudget) BisectionReport {
 	c := topology.NewCCC(n)
 	rep.Constructed = construct.CCCDimensionCut(c).Capacity()
 	if rep.Nodes <= budget.ExactNodes {
-		rep.recordSolve(exact.SolveBisection(budget.Ctx, c.Graph, budget.solveOptions(rep.Constructed)))
+		rep.recordSolve(exact.SolveBisection(budget.Ctx, c.Graph, budget.solveOptions("bisection "+rep.Network, rep.Constructed)))
 	}
 	if rep.Nodes <= budget.HeuristicNodes {
-		rep.Heuristic = heuristic.BisectParallel(c.Graph, heuristic.BisectOptions{Starts: 6, Seed: 1, Ctx: budget.Ctx}).Capacity()
+		rep.Heuristic = heuristic.BisectParallel(c.Graph, budget.bisectOptions("bisection "+rep.Network)).Capacity()
 	}
 	return rep
 }

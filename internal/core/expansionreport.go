@@ -8,6 +8,7 @@ import (
 	"repro/internal/cut"
 	"repro/internal/exact"
 	"repro/internal/expansion"
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
@@ -39,6 +40,44 @@ func (k ExpansionKind) String() string {
 	return "?"
 }
 
+// Slug is the manifest-safe name of the kind ("ee_wn", "ne_bn", ...).
+func (k ExpansionKind) Slug() string {
+	switch k {
+	case WnEdge:
+		return "ee_wn"
+	case WnNode:
+		return "ne_wn"
+	case BnEdge:
+		return "ee_bn"
+	case BnNode:
+		return "ne_bn"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its slug, keeping manifests readable
+// without exposing the iota values.
+func (k ExpansionKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.Slug() + `"`), nil
+}
+
+// UnmarshalJSON accepts the slug form back (manifest round trips).
+func (k *ExpansionKind) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"ee_wn"`:
+		*k = WnEdge
+	case `"ne_wn"`:
+		*k = WnNode
+	case `"ee_bn"`:
+		*k = BnEdge
+	case `"ne_bn"`:
+		*k = BnNode
+	default:
+		return fmt.Errorf("core: unknown expansion kind %s", data)
+	}
+	return nil
+}
+
 // Constants returns the lower- and upper-bound constants c in c·k/log k from
 // the §4.3 summary tables.
 func (k ExpansionKind) Constants() (lower, upper float64) {
@@ -60,25 +99,26 @@ func (k ExpansionKind) Constants() (lower, upper float64) {
 // credit-scheme certified lower bound evaluated on that witness, and —
 // when the size budget allows — the true optimum.
 type ExpansionRow struct {
-	Kind      ExpansionKind
-	N         int // butterfly inputs
-	D         int // witness sub-butterfly dimension
-	K         int // set size
-	WitnessUB int
+	Kind      ExpansionKind `json:"kind"`
+	N         int           `json:"n"` // butterfly inputs
+	D         int           `json:"d"` // witness sub-butterfly dimension
+	K         int           `json:"k"` // set size
+	WitnessUB int           `json:"witness_ub"`
 	// WitnessFormula is the lemma's exact prediction for the witness
 	// boundary (4·2^d, 3·2^(d+1), 2·2^d or 2^(d+1)); the measured
 	// WitnessUB must equal it.
-	WitnessFormula int
-	CreditLB       int
+	WitnessFormula int `json:"witness_formula"`
+	CreditLB       int `json:"credit_lb"`
 	// Exact is the branch-and-bound optimum (Unknown beyond the budget).
 	// It is certified only when ExactComplete is true; a cancelled survey
 	// leaves the best incumbent here (still an upper bound).
-	Exact         int
-	ExactComplete bool
-	// Explored counts branch-and-bound nodes behind the Exact value.
-	Explored int64
-	TheoryLB float64 // c_lower·k/log k
-	TheoryUB float64 // c_upper·k/log k
+	Exact         int  `json:"exact"`
+	ExactComplete bool `json:"exact_complete"`
+	// Explored/Pruned count branch-and-bound nodes behind the Exact value.
+	Explored int64   `json:"explored"`
+	Pruned   int64   `json:"pruned"`
+	TheoryLB float64 `json:"theory_lb"` // c_lower·k/log k
+	TheoryUB float64 `json:"theory_ub"` // c_upper·k/log k
 }
 
 // MaxWitnessDim returns the largest witness dimension d for which the
@@ -139,6 +179,8 @@ type ExpansionTableOptions struct {
 	// ProgressInterval (≤ 0: 1s) while the exact pass runs.
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Trace, when non-nil, receives the survey's span events.
+	Trace *obs.Tracer
 }
 
 func (o ExpansionTableOptions) withDefaults() ExpansionTableOptions {
@@ -199,18 +241,21 @@ func ExpansionTable(kind ExpansionKind, n int, dims []int, opts ExpansionTableOp
 		Ctx:              opts.Ctx,
 		OnProgress:       opts.OnProgress,
 		ProgressInterval: opts.ProgressInterval,
+		Label:            fmt.Sprintf("%s survey n=%d", kind, n),
+		Trace:            opts.Trace,
 	}
 	type exactOutcome struct {
 		value    int
 		complete bool
 		explored int64
+		pruned   int64
 	}
 	exactByK := make(map[int]exactOutcome)
 	for _, res := range exact.ExpansionSurveyWithOptions(g.Graph, ks, root, opts.Workers, surveyOpts) {
 		if res.EE != exact.NotComputed {
-			exactByK[res.K] = exactOutcome{res.EE, res.EEExact, res.EEExplored}
+			exactByK[res.K] = exactOutcome{res.EE, res.EEExact, res.EEExplored, res.EEPruned}
 		} else {
-			exactByK[res.K] = exactOutcome{res.NE, res.NEExact, res.NEExplored}
+			exactByK[res.K] = exactOutcome{res.NE, res.NEExact, res.NEExplored, res.NEPruned}
 		}
 	}
 	for i := range rows {
@@ -218,6 +263,7 @@ func ExpansionTable(kind ExpansionKind, n int, dims []int, opts ExpansionTableOp
 			rows[i].Exact = o.value
 			rows[i].ExactComplete = o.complete
 			rows[i].Explored = o.explored
+			rows[i].Pruned = o.pruned
 		}
 	}
 	return rows

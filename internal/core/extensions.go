@@ -20,16 +20,16 @@ import (
 // VariantRow is one row of the §1.6 related-bounds table (experiment E12):
 // Snir's Ω_n port-counting expansion and the Hong–Kung separator bound.
 type VariantRow struct {
-	N int
-	K int
+	N int `json:"n"`
+	K int `json:"k"`
 	// OmegaC is the measured (or exact, when OmegaExact) ported boundary
 	// of Ω_n at size k.
-	OmegaC     int
-	OmegaExact bool
-	SnirHolds  bool // C·log C ≥ 4k
+	OmegaC     int  `json:"omega_c"`
+	OmegaExact bool `json:"omega_exact"`
+	SnirHolds  bool `json:"snir_holds"` // C·log C ≥ 4k
 	// HKSeparator is the minimum input separator |D| for the FFT_n set.
-	HKSeparator int
-	HKHolds     bool // k ≤ 2|D|·log|D|
+	HKSeparator int  `json:"hk_separator"`
+	HKHolds     bool `json:"hk_holds"` // k ≤ 2|D|·log|D|
 }
 
 // VariantsTable evaluates §1.6 on witness-style sets. For small base
@@ -73,10 +73,10 @@ func RenderVariantsTable(rows []VariantRow) string {
 // E13): the directed bisection width of Bn is n/2 — the "similar in spirit
 // to Lemma 3.1" bound.
 type BandwidthReport struct {
-	N           int
-	Exact       int // Unknown when beyond the budget
-	Constructed int // the column-prefix cut: always n/2
-	Theory      int // n/2
+	N           int `json:"n"`
+	Exact       int `json:"exact"`       // Unknown when beyond the budget
+	Constructed int `json:"constructed"` // the column-prefix cut: always n/2
+	Theory      int `json:"theory"`      // n/2
 }
 
 // BandwidthExperiment measures the directed bisection width.
@@ -125,11 +125,11 @@ func TransmutationExperiment(n int, exactNodes int) (transmute.Result, error) {
 // spreading from a single node on Wn, with per-round growth verified
 // against the credit-certified node expansion floor.
 type DisseminationReport struct {
-	N      int
-	Rounds int
-	Sizes  []int
+	N      int   `json:"n"`
+	Rounds int   `json:"rounds"`
+	Sizes  []int `json:"sizes"`
 	// Diameter bounds Rounds from above for a single-seed run.
-	Diameter int
+	Diameter int `json:"diameter"`
 }
 
 // Dissemination runs E15 on Wn.
@@ -154,10 +154,10 @@ func RenderDisseminationTable(reports []DisseminationReport) string {
 
 // EmulationRow records one §1.5 emulation run (experiment E16).
 type EmulationRow struct {
-	Pair      string
-	Messages  int
-	HostSteps int
-	Budget    int // the O(l+c+d) budget
+	Pair      string `json:"pair"`
+	Messages  int    `json:"messages"`
+	HostSteps int    `json:"host_steps"`
+	Budget    int    `json:"budget"` // the O(l+c+d) budget
 }
 
 // EmulationExperiments runs the emulation engine over the §1.5 embeddings.
@@ -199,13 +199,13 @@ func RenderEmulationTable(rows []EmulationRow) string {
 
 // LayoutRow records one §1.1 layout-area measurement (experiment E17).
 type LayoutRow struct {
-	N           int
-	PackedArea  int
-	NaiveArea   int
-	PackedRatio float64 // area / n²; §1.1's tight value is 1±o(1), this
+	N           int     `json:"n"`
+	PackedArea  int     `json:"packed_area"`
+	NaiveArea   int     `json:"naive_area"`
+	PackedRatio float64 `json:"packed_ratio"` // area / n²; §1.1's tight value is 1±o(1), this
 	// simple router achieves 2+o(1)
-	BWSquared  int // Thompson floor from the constructed bisection width
-	Consistent bool
+	BWSquared  int  `json:"bw_squared"` // Thompson floor from the constructed bisection width
+	Consistent bool `json:"consistent"`
 }
 
 // LayoutExperiment lays Bn out on the Thompson grid with both strategies

@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/obs"
+
+// CheckRow is a scalar verification result in the run manifest (Thompson
+// floor, Lemma 3.1 input-bisection check, ...).
+type CheckRow struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
+}
+
+// AppendManifestTables serializes every table of the full report into the
+// run manifest, one obs.Table per rendered text table. Expansion tables
+// are keyed by the kind slug ("expansion.ee_wn", ...), with the
+// enumerable-size exact rows appended to their kind's table; the two E12
+// variant tables merge into one "variants" table (rows carry n).
+func (r *FullReport) AppendManifestTables(m *obs.Manifest) {
+	m.AddTable("structure", "E1: structure (Fig. 1, §1.1)", r.Structure).
+		AddTable("bisection.bn", "E2: BW(Bn) (Theorem 2.20)", r.Bn).
+		AddTable("bisection.sub_folklore", "E2: sub-n plans vs folklore", r.SubFolklore).
+		AddTable("mos", "E3: mesh of stars (Lemmas 2.17–2.19)", r.MOS).
+		AddTable("bisection.wn", "E4: BW(Wn) = n (Lemma 3.2)", r.Wn).
+		AddTable("bisection.ccc", "E5: BW(CCCn) = n/2 (Lemma 3.3)", r.CCC)
+
+	expansion := make(map[string][]ExpansionRow)
+	var order []string
+	appendRows := func(tables [][]ExpansionRow) {
+		for _, rows := range tables {
+			if len(rows) == 0 {
+				continue
+			}
+			slug := rows[0].Kind.Slug()
+			if _, seen := expansion[slug]; !seen {
+				order = append(order, slug)
+			}
+			expansion[slug] = append(expansion[slug], rows...)
+		}
+	}
+	appendRows(r.Expansion)
+	appendRows(r.ExpansionExact)
+	for _, slug := range order {
+		m.AddTable("expansion."+slug, "E6/E7: expansion (§4.3)", expansion[slug])
+	}
+
+	var variants []VariantRow
+	for _, rows := range r.Variants {
+		variants = append(variants, rows...)
+	}
+
+	m.AddTable("routing.random", "E8: routing vs bisection bound (§1.2)", r.Routing).
+		AddTable("benes", "E9: Beneš rearrangeability (Lemma 2.5)", r.Benes).
+		AddTable("variants", "E12: §1.6 related bounds (Snir, Hong–Kung)", variants).
+		AddTable("bandwidth.directed", "E13: directed (Kruskal–Snir) bisection", r.Bandwidth).
+		AddTable("transmutation", "E14: Lemma 3.2 transmutation pipeline", r.Transmutation).
+		AddTable("dissemination", "E15: dissemination on Wn (§1.3)", r.Dissemination).
+		AddTable("emulation", "E16: emulation through embeddings (§1.5)", r.Emulation).
+		AddTable("layout", "E17: VLSI layout (§1.1/§1.2)", r.Layout).
+		AddTable("checks", "scalar verification results", []CheckRow{
+			{Name: "thompson_floor_b1024", Value: r.ThompsonFloorB1024},
+			{Name: "input_bisection_b4", Value: r.InputBisectionB4},
+		})
+}

@@ -4,9 +4,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
+
+	"repro/internal/construct"
+	"repro/internal/mos"
+	"repro/internal/obs"
+	"repro/internal/solve"
+	"repro/internal/transmute"
 )
 
-// ReportOptions tune WriteFullReport.
+// ReportOptions tune BuildFullReport / WriteFullReport.
 type ReportOptions struct {
 	// Quick trims the exact-solver budget for fast runs.
 	Quick bool
@@ -16,14 +23,67 @@ type ReportOptions struct {
 	// to incumbents (marked non-exact) rather than aborting the report.
 	// nil means never cancelled.
 	Ctx context.Context
+	// OnProgress, when non-nil, receives solver progress snapshots every
+	// ProgressInterval (≤ 0: 1s) from the exact and Monte-Carlo engines.
+	OnProgress       func(solve.Progress)
+	ProgressInterval time.Duration
+	// Trace, when non-nil, receives span events from every solver the
+	// report runs.
+	Trace *obs.Tracer
 }
 
-// WriteFullReport runs every experiment of DESIGN.md (E1–E16) and writes
-// the complete reproduction report to w. cmd/paperrepro is a thin wrapper
-// around this function; EXPERIMENTS.md records its output. A non-nil error
-// means an experiment detected an internal inconsistency (e.g. an invalid
-// layout or unbalanced plan) and the report is incomplete.
-func WriteFullReport(w io.Writer, opts ReportOptions) error {
+// BenesCheck is one E9 row: how many permutations (identity, reversal and
+// random ones) routed edge-disjointly through the n-input Beneš network.
+type BenesCheck struct {
+	N      int `json:"n"`
+	Routed int `json:"routed"`
+	Total  int `json:"total"`
+}
+
+// TransmutationRow is one E14 row: the Lemma 3.2 pipeline on Wn. Err is
+// set (and the capacities partial) when the pipeline rejected the input
+// cut.
+type TransmutationRow struct {
+	N int `json:"n"`
+	transmute.Result
+	Err string `json:"error,omitempty"`
+}
+
+// FullReport holds the structured results of every experiment of
+// DESIGN.md (E1–E17): the data behind the text report and behind the
+// machine-readable run manifest. Build it with BuildFullReport, render it
+// with RenderFullReport, serialize it with AppendManifestTables.
+type FullReport struct {
+	Seed int64
+
+	Structure          []StructureReport
+	Bn                 []BisectionReport
+	SubFolklore        []construct.Plan
+	ThompsonFloorB1024 int
+	MOS                []mos.Result
+	Wn                 []BisectionReport
+	InputBisectionB4   int
+	CCC                []BisectionReport
+	// Expansion holds the four §4.3 witness tables (n = 256); ExpansionExact
+	// the two exact-optimum tables at enumerable sizes.
+	Expansion      [][]ExpansionRow
+	ExpansionExact [][]ExpansionRow
+	Routing        []RoutingReport
+	Benes          []BenesCheck
+	// Variants holds the two E12 tables (n = 8 and n = 64).
+	Variants      [][]VariantRow
+	Bandwidth     []BandwidthReport
+	Transmutation []TransmutationRow
+	Dissemination []DisseminationReport
+	Emulation     []EmulationRow
+	Layout        []LayoutRow
+}
+
+// BuildFullReport runs every experiment of DESIGN.md (E1–E17) and returns
+// the structured results. A non-nil error means an experiment detected an
+// internal inconsistency (e.g. an invalid layout or unbalanced plan) and
+// the report is incomplete.
+func BuildFullReport(opts ReportOptions) (*FullReport, error) {
 	exactNodes := 32
 	if opts.Quick {
 		exactNodes = 16
@@ -31,125 +91,193 @@ func WriteFullReport(w io.Writer, opts ReportOptions) error {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	budget := BisectionBudget{ExactNodes: exactNodes, Ctx: opts.Ctx}
+	budget := BisectionBudget{
+		ExactNodes:       exactNodes,
+		Ctx:              opts.Ctx,
+		OnProgress:       opts.OnProgress,
+		ProgressInterval: opts.ProgressInterval,
+		Trace:            opts.Trace,
+	}
+	rep := &FullReport{Seed: opts.Seed}
 
-	fmt.Fprintln(w, "=== E1: structure (Fig. 1, §1.1) ===")
-	var structs []StructureReport
 	for _, n := range []int{4, 8, 16, 32} {
-		structs = append(structs, ButterflyStructure(n, false))
+		rep.Structure = append(rep.Structure, ButterflyStructure(n, false))
 	}
 	for _, n := range []int{4, 8, 16, 32} {
-		structs = append(structs, ButterflyStructure(n, true))
+		rep.Structure = append(rep.Structure, ButterflyStructure(n, true))
 	}
-	fmt.Fprint(w, RenderStructureTable(structs))
 
-	fmt.Fprintln(w, "\n=== E2: BW(Bn) (Theorem 2.20) ===")
-	var bn []BisectionReport
 	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
 		r, err := ButterflyBisection(n, budget)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		bn = append(bn, r)
+		rep.Bn = append(rep.Bn, r)
 	}
-	fmt.Fprint(w, RenderBisectionTable("BW(Bn)", bn))
 	var dims []int
 	for d := 6; d <= 30; d += 3 {
 		dims = append(dims, d)
 	}
-	fmt.Fprint(w, RenderSubFolkloreTable(SubFolkloreSweep(dims)))
-	fmt.Fprintf(w, "Thompson (§1.2): layout area of B1024 is at least BW² = %d\n",
-		LayoutAreaLowerBound(bn[len(bn)-1].Constructed))
+	rep.SubFolklore = SubFolkloreSweep(dims)
+	rep.ThompsonFloorB1024 = LayoutAreaLowerBound(rep.Bn[len(rep.Bn)-1].Constructed)
 
-	fmt.Fprintln(w, "\n=== E3: mesh of stars (Lemmas 2.17–2.19) ===")
-	js := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	fmt.Fprint(w, RenderMOSTable(MOSConvergence(js)))
+	rep.MOS = MOSConvergence([]int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 
-	fmt.Fprintln(w, "\n=== E4: BW(Wn) = n (Lemma 3.2) ===")
-	var wn []BisectionReport
 	for _, n := range []int{4, 8, 16, 64, 256} {
-		wn = append(wn, WrappedBisection(n, budget))
+		rep.Wn = append(rep.Wn, WrappedBisection(n, budget))
 	}
-	fmt.Fprint(w, RenderBisectionTable("BW(Wn)", wn))
-	fmt.Fprintf(w, "Lemma 3.1: BW(B4, inputs) = %d (≥ n = 4)\n", InputBisectionCheck(4))
+	rep.InputBisectionB4 = InputBisectionCheck(4)
 
-	fmt.Fprintln(w, "\n=== E5: BW(CCCn) = n/2 (Lemma 3.3) ===")
-	var ccc []BisectionReport
 	for _, n := range []int{8, 16, 64, 256} {
-		ccc = append(ccc, CCCBisection(n, budget))
+		rep.CCC = append(rep.CCC, CCCBisection(n, budget))
 	}
-	fmt.Fprint(w, RenderBisectionTable("BW(CCCn)", ccc))
 
-	fmt.Fprintln(w, "\n=== E6/E7: expansion (§4.3 tables) ===")
+	expOpts := ExpansionTableOptions{
+		ExactNodes:       exactNodes,
+		Ctx:              opts.Ctx,
+		OnProgress:       opts.OnProgress,
+		ProgressInterval: opts.ProgressInterval,
+		Trace:            opts.Trace,
+	}
 	for _, kind := range []ExpansionKind{WnEdge, WnNode, BnEdge, BnNode} {
-		fmt.Fprint(w, RenderExpansionTable(ExpansionTable(kind, 256, []int{1, 2, 3, 4},
-			ExpansionTableOptions{ExactNodes: exactNodes, Ctx: opts.Ctx})))
+		rep.Expansion = append(rep.Expansion, ExpansionTable(kind, 256, []int{1, 2, 3, 4}, expOpts))
 	}
-	fmt.Fprintln(w, "\n--- exact optima at enumerable sizes ---")
-	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(WnEdge, 16, []int{1},
-		ExpansionTableOptions{ExactNodes: exactNodes * 2, Ctx: opts.Ctx})))
-	fmt.Fprint(w, RenderExpansionTable(ExpansionTable(BnEdge, 8, []int{1},
-		ExpansionTableOptions{ExactNodes: exactNodes * 2, Ctx: opts.Ctx})))
+	smallOpts := expOpts
+	smallOpts.ExactNodes = exactNodes * 2
+	rep.ExpansionExact = append(rep.ExpansionExact,
+		ExpansionTable(WnEdge, 16, []int{1}, smallOpts),
+		ExpansionTable(BnEdge, 8, []int{1}, smallOpts))
 
-	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
-	var random []RoutingReport
 	for _, n := range []int{8, 16, 32, 64} {
-		random = append(random, RandomRoutingExperiment(n, opts.Seed, RoutingOptions{Trials: 25, Ctx: opts.Ctx}))
+		rep.Routing = append(rep.Routing, RandomRoutingExperiment(n, opts.Seed, RoutingOptions{
+			Trials:           25,
+			Ctx:              opts.Ctx,
+			OnProgress:       opts.OnProgress,
+			ProgressInterval: opts.ProgressInterval,
+			Trace:            opts.Trace,
+		}))
 	}
-	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn (25 trials/row)", random))
 
-	fmt.Fprintln(w, "\n=== E9: Beneš rearrangeability (Lemma 2.5 substrate) ===")
 	for _, n := range []int{8, 64, 256} {
 		routed, total := BenesRearrangeabilityCheck(n, 200, opts.Seed)
-		fmt.Fprintf(w, "  Beneš %3d inputs: %d/%d permutations routed edge-disjointly\n", n, routed, total)
+		rep.Benes = append(rep.Benes, BenesCheck{N: n, Routed: routed, Total: total})
+	}
+
+	rep.Variants = append(rep.Variants,
+		VariantsTable(8, []int{1}, exactNodes),
+		VariantsTable(64, []int{1, 2, 3}, exactNodes))
+
+	for _, n := range []int{4, 8, 16, 64} {
+		rep.Bandwidth = append(rep.Bandwidth, BandwidthExperiment(n, exactNodes))
+	}
+
+	for _, n := range []int{8, 16, 64} {
+		row := TransmutationRow{N: n}
+		res, err := TransmutationExperiment(n, exactNodes)
+		row.Result = res
+		if err != nil {
+			row.Err = err.Error()
+		}
+		rep.Transmutation = append(rep.Transmutation, row)
+	}
+
+	for _, n := range []int{8, 16, 32} {
+		if r, err := Dissemination(n); err == nil {
+			rep.Dissemination = append(rep.Dissemination, r)
+		}
+	}
+
+	rep.Emulation = EmulationExperiments(16)
+
+	for _, n := range []int{16, 64, 256, 1024} {
+		row, err := LayoutExperiment(n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Layout = append(rep.Layout, row)
+	}
+	return rep, nil
+}
+
+// RenderFullReport writes the complete text reproduction report for a
+// built FullReport to w. EXPERIMENTS.md records this output.
+func RenderFullReport(w io.Writer, rep *FullReport) {
+	fmt.Fprintln(w, "=== E1: structure (Fig. 1, §1.1) ===")
+	fmt.Fprint(w, RenderStructureTable(rep.Structure))
+
+	fmt.Fprintln(w, "\n=== E2: BW(Bn) (Theorem 2.20) ===")
+	fmt.Fprint(w, RenderBisectionTable("BW(Bn)", rep.Bn))
+	fmt.Fprint(w, RenderSubFolkloreTable(rep.SubFolklore))
+	fmt.Fprintf(w, "Thompson (§1.2): layout area of B1024 is at least BW² = %d\n",
+		rep.ThompsonFloorB1024)
+
+	fmt.Fprintln(w, "\n=== E3: mesh of stars (Lemmas 2.17–2.19) ===")
+	fmt.Fprint(w, RenderMOSTable(rep.MOS))
+
+	fmt.Fprintln(w, "\n=== E4: BW(Wn) = n (Lemma 3.2) ===")
+	fmt.Fprint(w, RenderBisectionTable("BW(Wn)", rep.Wn))
+	fmt.Fprintf(w, "Lemma 3.1: BW(B4, inputs) = %d (≥ n = 4)\n", rep.InputBisectionB4)
+
+	fmt.Fprintln(w, "\n=== E5: BW(CCCn) = n/2 (Lemma 3.3) ===")
+	fmt.Fprint(w, RenderBisectionTable("BW(CCCn)", rep.CCC))
+
+	fmt.Fprintln(w, "\n=== E6/E7: expansion (§4.3 tables) ===")
+	for _, rows := range rep.Expansion {
+		fmt.Fprint(w, RenderExpansionTable(rows))
+	}
+	fmt.Fprintln(w, "\n--- exact optima at enumerable sizes ---")
+	for _, rows := range rep.ExpansionExact {
+		fmt.Fprint(w, RenderExpansionTable(rows))
+	}
+
+	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
+	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn (25 trials/row)", rep.Routing))
+
+	fmt.Fprintln(w, "\n=== E9: Beneš rearrangeability (Lemma 2.5 substrate) ===")
+	for _, b := range rep.Benes {
+		fmt.Fprintf(w, "  Beneš %3d inputs: %d/%d permutations routed edge-disjointly\n", b.N, b.Routed, b.Total)
 	}
 	fmt.Fprintln(w, "\nE10 (compactness/amenability) and E11 (embedding properties) are")
 	fmt.Fprintln(w, "verified by the test suite: go test ./internal/compactness ./internal/embed")
 
 	fmt.Fprintln(w, "\n=== E12: §1.6 related bounds (Snir, Hong–Kung) ===")
-	fmt.Fprint(w, RenderVariantsTable(VariantsTable(8, []int{1}, exactNodes)))
-	fmt.Fprint(w, RenderVariantsTable(VariantsTable(64, []int{1, 2, 3}, exactNodes)))
+	for _, rows := range rep.Variants {
+		fmt.Fprint(w, RenderVariantsTable(rows))
+	}
 
 	fmt.Fprintln(w, "\n=== E13: directed (Kruskal–Snir) bisection (§1.2) ===")
-	var bws []BandwidthReport
-	for _, n := range []int{4, 8, 16, 64} {
-		bws = append(bws, BandwidthExperiment(n, exactNodes))
-	}
-	fmt.Fprint(w, RenderBandwidthTable(bws))
+	fmt.Fprint(w, RenderBandwidthTable(rep.Bandwidth))
 
 	fmt.Fprintln(w, "\n=== E14: Lemma 3.2 transmutation pipeline ===")
-	for _, n := range []int{8, 16, 64} {
-		res, err := TransmutationExperiment(n, exactNodes)
-		if err != nil {
-			fmt.Fprintf(w, "  W%d: %v\n", n, err)
+	for _, row := range rep.Transmutation {
+		if row.Err != "" {
+			fmt.Fprintf(w, "  W%d: %s\n", row.N, row.Err)
 			continue
 		}
 		fmt.Fprintf(w, "  W%d: split level %d, Wn cut %d → Bn cut %d → rebalanced %d (%d moves), inputs bisected: %v\n",
-			n, res.SplitLevel, res.WnCapacity, res.BnCapacity, res.FinalCapacity, res.Moves, res.InputBisected)
+			row.N, row.SplitLevel, row.WnCapacity, row.BnCapacity, row.FinalCapacity, row.Moves, row.InputBisected)
 	}
 
 	fmt.Fprintln(w, "\n=== E15: dissemination on Wn (§1.3) ===")
-	var diss []DisseminationReport
-	for _, n := range []int{8, 16, 32} {
-		if r, err := Dissemination(n); err == nil {
-			diss = append(diss, r)
-		}
-	}
-	fmt.Fprint(w, RenderDisseminationTable(diss))
+	fmt.Fprint(w, RenderDisseminationTable(rep.Dissemination))
 
 	fmt.Fprintln(w, "\n=== E16: emulation through embeddings (§1.5) ===")
-	fmt.Fprint(w, RenderEmulationTable(EmulationExperiments(16)))
+	fmt.Fprint(w, RenderEmulationTable(rep.Emulation))
 
 	fmt.Fprintln(w, "\n=== E17: VLSI layout (§1.1/§1.2) ===")
-	var lay []LayoutRow
-	for _, n := range []int{16, 64, 256, 1024} {
-		row, err := LayoutExperiment(n)
-		if err != nil {
-			return err
-		}
-		lay = append(lay, row)
+	fmt.Fprint(w, RenderLayoutTable(rep.Layout))
+}
+
+// WriteFullReport runs every experiment of DESIGN.md (E1–E17) and writes
+// the complete reproduction report to w. cmd/paperrepro is a thin wrapper
+// around BuildFullReport + RenderFullReport; this convenience keeps the
+// historical single-call API.
+func WriteFullReport(w io.Writer, opts ReportOptions) error {
+	rep, err := BuildFullReport(opts)
+	if err != nil {
+		return err
 	}
-	fmt.Fprint(w, RenderLayoutTable(lay))
+	RenderFullReport(w, rep)
 	return nil
 }
 

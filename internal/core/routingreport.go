@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/construct"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/solve"
 	"repro/internal/tablefmt"
@@ -29,18 +30,24 @@ type RoutingOptions struct {
 	// ProgressInterval (≤ 0: 1s).
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Trace, when non-nil, receives per-trial events on the simulation's
+	// span.
+	Trace *obs.Tracer
 }
 
 // RoutingReport is one row of the §1.2 experiment (E8): multi-trial
 // random-destination (or random-permutation) routing on Bn measured
-// against the bisection-width bound time ≥ crossings / C(S,S̄).
+// against the bisection-width bound time ≥ crossings / C(S,S̄). The
+// embedded TrialStats carries the full Monte-Carlo record — steps/bound
+// ratios and the max-queue histogram included — so the §1.2 floor
+// comparison is regression-checkable from the manifest alone.
 type RoutingReport struct {
-	N           int
-	Trials      int
-	CutCapacity int
+	N           int `json:"n"`
+	Trials      int `json:"trials"`
+	CutCapacity int `json:"cut_capacity"`
 	// Stats aggregates the trials: min/mean/max steps, the certified
 	// congestion bounds, steps/bound ratios and the tightness count.
-	Stats route.TrialStats
+	Stats route.TrialStats `json:"stats"`
 }
 
 // RandomRoutingExperiment runs the E8 simulation on Bn against the best
@@ -64,6 +71,8 @@ func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptio
 		Trials:  opt.Trials,
 		Workers: opt.Workers,
 		Seed:    seed,
+		Label:   fmt.Sprintf("routing B%d %s", n, kind),
+		Trace:   opt.Trace,
 		// Greedy store-and-forward empirically sits 3–5× above the §1.2
 		// floor, so a 4× threshold splits the trial distribution instead
 		// of counting all or nothing.

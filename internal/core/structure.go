@@ -13,15 +13,15 @@ import (
 // StructureReport reproduces the Figure 1 / §1.1 structural facts for one
 // butterfly instance (experiment E1).
 type StructureReport struct {
-	Network       string
-	Nodes         int
-	NodesFormula  int // n(log n+1) for Bn, n·log n for Wn
-	Edges         int
-	DegreeHist    map[int]int
-	Diameter      int
-	TheoryDiam    int // 2 log n for Bn, ⌊3 log n/2⌋ for Wn
-	Connected     bool
-	MonotonePaths bool // Lemma 2.3 verified (Bn only)
+	Network       string      `json:"network"`
+	Nodes         int         `json:"nodes"`
+	NodesFormula  int         `json:"nodes_formula"` // n(log n+1) for Bn, n·log n for Wn
+	Edges         int         `json:"edges"`
+	DegreeHist    map[int]int `json:"degree_hist"`
+	Diameter      int         `json:"diameter"`
+	TheoryDiam    int         `json:"theory_diam"` // 2 log n for Bn, ⌊3 log n/2⌋ for Wn
+	Connected     bool        `json:"connected"`
+	MonotonePaths bool        `json:"monotone_paths"` // Lemma 2.3 verified (Bn only)
 }
 
 // ButterflyStructure measures Bn (wrap=false) or Wn (wrap=true).

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -35,6 +36,10 @@ type SolveOptions struct {
 	// ProgressInterval (≤ 0: 1s) from a dedicated goroutine.
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Label names the solve in progress lines and trace spans.
+	Label string
+	// Trace, when non-nil, receives the solve's span events.
+	Trace *obs.Tracer
 }
 
 func (o SolveOptions) monitor(ctx context.Context) *solve.Monitor {
@@ -42,6 +47,8 @@ func (o SolveOptions) monitor(ctx context.Context) *solve.Monitor {
 		Ctx:        ctx,
 		OnProgress: o.OnProgress,
 		Interval:   o.ProgressInterval,
+		Name:       o.Label,
+		Trace:      o.Trace,
 	})
 }
 

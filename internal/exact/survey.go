@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -25,10 +26,13 @@ type SurveyResult struct {
 
 	EEExact bool // EE certified optimal (always true when uncancelled)
 	NEExact bool // NE certified optimal
-	// EEExplored/NEExplored count the branch-and-bound nodes the
-	// corresponding search explored (telemetry for the report tables).
+	// EEExplored/NEExplored and EEPruned/NEPruned count the
+	// branch-and-bound nodes the corresponding search explored and the
+	// subtrees its bound cut off (telemetry for tables and manifests).
 	EEExplored int64
 	NEExplored int64
+	EEPruned   int64
+	NEPruned   int64
 }
 
 // SurveyOptions tune ExpansionSurveyWithOptions.
@@ -51,6 +55,10 @@ type SurveyOptions struct {
 	// every ProgressInterval (≤ 0: 1s).
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Label names the survey in progress lines and trace spans.
+	Label string
+	// Trace, when non-nil, receives the survey's span events.
+	Trace *obs.Tracer
 }
 
 // ExpansionSurvey computes EE(g,k) and NE(g,k) exactly for every k in ks,
@@ -79,6 +87,8 @@ func ExpansionSurveyWithOptions(g *graph.Graph, ks []int, root, workers int, opt
 		Ctx:        opts.Ctx,
 		OnProgress: opts.OnProgress,
 		Interval:   opts.ProgressInterval,
+		Name:       opts.Label,
+		Trace:      opts.Trace,
 	})
 	defer mon.Close()
 
@@ -160,13 +170,15 @@ func ExpansionSurveyWithOptions(g *graph.Graph, ks []int, root, workers int, opt
 				set, val = fallbackExpansionSet(g, order, s.k, s.edge)
 			}
 		}
-		explored := s.sb.explored.Load()
+		explored, pruned := s.sb.explored.Load(), s.sb.pruned.Load()
 		if s.edge {
 			target[i].EE, target[i].EESet = val, set
 			target[i].EEExact, target[i].EEExplored = exact, explored
+			target[i].EEPruned = pruned
 		} else {
 			target[i].NE, target[i].NESet = val, set
 			target[i].NEExact, target[i].NEExplored = exact, explored
+			target[i].NEPruned = pruned
 		}
 	}
 	return results

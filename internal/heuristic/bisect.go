@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // BisectOptions control the bisection search.
@@ -30,6 +31,11 @@ type BisectOptions struct {
 	// a weaker upper bound than an uncancelled run would produce. nil
 	// means never cancelled.
 	Ctx context.Context
+	// Label names the search in trace spans; Trace, when non-nil,
+	// receives a span per BisectParallel run with the start count and the
+	// best capacity found.
+	Label string
+	Trace *obs.Tracer
 }
 
 func (o BisectOptions) withDefaults() BisectOptions {

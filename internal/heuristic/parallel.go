@@ -3,9 +3,19 @@ package heuristic
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cut"
 	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Registry metrics of the multi-start search, published per BisectParallel
+// call (never inside a refinement pass).
+var (
+	metricBisectRuns   = obs.NewCounter("heuristic.bisect_runs")
+	metricBisectStarts = obs.NewCounter("heuristic.bisect_starts")
+	metricBisectMS     = obs.NewHistogram("heuristic.bisect_ms")
 )
 
 // BisectParallel runs the multi-start FM search with the starts distributed
@@ -18,8 +28,16 @@ import (
 // bisection either way.
 func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 	opts = opts.withDefaults()
+	began := time.Now()
+	span := opts.Trace.StartSpan("heuristic.bisect", obs.Attrs{
+		"name": opts.Label, "nodes": g.N(), "starts": opts.Starts,
+	})
+	metricBisectRuns.Inc()
+	metricBisectStarts.Add(int64(opts.Starts))
+	defer func() { metricBisectMS.Observe(int64(time.Since(began) / time.Millisecond)) }()
 	n := g.N()
 	if n == 0 {
+		span.End(nil)
 		return cut.FromSet(g, nil)
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -53,5 +71,6 @@ func BisectParallel(g *graph.Graph, opts BisectOptions) *cut.Cut {
 			best = c
 		}
 	}
+	span.End(obs.Attrs{"capacity": best.Capacity()})
 	return best
 }

@@ -55,11 +55,13 @@ func SideCost(j, k, a, b, t int) int {
 
 // Result describes an optimal M2-bisecting cut of MOS_{j,j}.
 type Result struct {
-	J        int
-	Capacity int     // BW(MOS_{j,j}, M2)
-	A, B     int     // optimal |A∩M1|, |A∩M3|
-	T        int     // optimal |A∩M2|
-	Ratio    float64 // Capacity / j²
+	J        int `json:"j"`
+	Capacity int `json:"capacity"` // BW(MOS_{j,j}, M2)
+	// A and B are the optimal |A∩M1| and |A∩M3|; T the optimal |A∩M2|.
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	T     int     `json:"t"`
+	Ratio float64 `json:"ratio"` // Capacity / j²
 }
 
 // M2BisectionWidth computes BW(MOS_{j,j},M2) exactly by minimizing SideCost

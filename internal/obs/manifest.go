@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// ManifestSchema identifies the run-manifest document family; Decode
+// rejects documents carrying any other schema string.
+const ManifestSchema = "repro/run-manifest"
+
+// ManifestVersion is the current schema version. Bump it whenever a field
+// changes meaning or moves; Decode rejects mismatches so downstream
+// tooling (the bench-trajectory differ, CI artifact checks) fails loudly
+// instead of silently misreading old documents.
+const ManifestVersion = 1
+
+// Environment records where a manifest was produced — enough to explain a
+// perf delta between two documents before reading a single table.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Revision is the VCS revision baked into the binary (vcs.revision
+	// from the build info — the `git describe` of a module build); empty
+	// for plain `go test` binaries.
+	Revision string `json:"revision,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+}
+
+// CaptureEnvironment snapshots the current process environment.
+func CaptureEnvironment() Environment {
+	env := Environment{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				env.Revision = s.Value
+			case "vcs.modified":
+				env.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return env
+}
+
+// Table is one named table of a manifest: the machine-readable twin of a
+// rendered text table. Rows is a slice of row structs on the encoding
+// side and decodes generically (a []interface{} of maps), which is what
+// the diffing and golden-test tooling wants.
+type Table struct {
+	Name  string      `json:"name"`
+	Title string      `json:"title,omitempty"`
+	Rows  interface{} `json:"rows"`
+}
+
+// Manifest is the versioned machine-readable record of one command run:
+// every table the command printed, the flag values and seeds that
+// produced them, the environment, and the end-of-run metrics snapshot
+// (solver telemetry included). `paperrepro -json` writes one per run; the
+// BENCH_*.json trajectory files are these documents.
+type Manifest struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Command string `json:"command"`
+
+	Args  []string          `json:"args,omitempty"`
+	Flags map[string]string `json:"flags,omitempty"`
+	Seed  int64             `json:"seed,omitempty"`
+
+	// GeneratedAt is RFC3339; ElapsedMS the run wall time. Both are
+	// omitted from golden-test documents, which must be byte-stable.
+	GeneratedAt string       `json:"generated_at,omitempty"`
+	ElapsedMS   float64      `json:"elapsed_ms,omitempty"`
+	Env         *Environment `json:"env,omitempty"`
+
+	Tables []Table `json:"tables"`
+
+	// Metrics is the Default-registry snapshot at write time: counters
+	// and gauges as numbers, histograms as HistogramSnapshot documents.
+	Metrics map[string]interface{} `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command with the current
+// schema stamp.
+func NewManifest(command string) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Version: ManifestVersion, Command: command}
+}
+
+// AddTable appends one table; rows should be a slice of JSON-tagged row
+// structs. Returns the manifest for chaining.
+func (m *Manifest) AddTable(name, title string, rows interface{}) *Manifest {
+	m.Tables = append(m.Tables, Table{Name: name, Title: title, Rows: rows})
+	return m
+}
+
+// Table returns the named table, or nil.
+func (m *Manifest) Table(name string) *Table {
+	for i := range m.Tables {
+		if m.Tables[i].Name == name {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// Encode writes the manifest as indented JSON with a trailing newline —
+// stable, line-diffable output.
+func (m *Manifest) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing manifest to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// DecodeManifest parses a manifest and verifies its schema stamp: a
+// missing or foreign schema string, or a version other than
+// ManifestVersion, is an error — never a silently misread document.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decoding manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("obs: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	return &m, nil
+}

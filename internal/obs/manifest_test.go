@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	type row struct {
+		Network string `json:"network"`
+		Width   int    `json:"width"`
+	}
+	m := NewManifest("bwtable")
+	m.Seed = 7
+	m.Flags = map[string]string{"exact-nodes": "32"}
+	env := CaptureEnvironment()
+	m.Env = &env
+	m.AddTable("bisection.bn", "BW(Bn)", []row{{"B8", 8}, {"B16", 14}})
+	m.Metrics = map[string]interface{}{"solve.explored": int64(123)}
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("encoded manifest missing trailing newline")
+	}
+
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || got.Version != ManifestVersion {
+		t.Fatalf("schema stamp %q/%d", got.Schema, got.Version)
+	}
+	if got.Command != "bwtable" || got.Seed != 7 {
+		t.Fatalf("envelope = %+v", got)
+	}
+	tab := got.Table("bisection.bn")
+	if tab == nil {
+		t.Fatal("table lost in round trip")
+	}
+	rows, ok := tab.Rows.([]interface{})
+	if !ok || len(rows) != 2 {
+		t.Fatalf("rows = %#v", tab.Rows)
+	}
+	first := rows[0].(map[string]interface{})
+	if first["network"] != "B8" || first["width"].(float64) != 8 {
+		t.Fatalf("row = %#v", first)
+	}
+	if got.Env == nil || got.Env.GOOS == "" || got.Env.GOMAXPROCS < 1 {
+		t.Fatalf("environment lost: %+v", got.Env)
+	}
+}
+
+func TestDecodeManifestChecksSchemaVersion(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"wrong schema", `{"schema":"other/thing","version":1,"command":"x","tables":[]}`},
+		{"missing schema", `{"version":1,"command":"x","tables":[]}`},
+		{"future version", `{"schema":"repro/run-manifest","version":99,"command":"x","tables":[]}`},
+		{"zero version", `{"schema":"repro/run-manifest","command":"x","tables":[]}`},
+		{"not json", `not json at all`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeManifest(strings.NewReader(c.doc)); err == nil {
+				t.Fatalf("decoded %s without error", c.name)
+			}
+		})
+	}
+}
+
+func TestManifestTableLookup(t *testing.T) {
+	m := NewManifest("x")
+	if m.Table("missing") != nil {
+		t.Fatal("lookup on empty manifest")
+	}
+	m.AddTable("a", "", nil).AddTable("b", "title", nil)
+	if m.Table("b") == nil || m.Table("b").Title != "title" {
+		t.Fatal("AddTable chaining broken")
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	env := CaptureEnvironment()
+	if env.GOOS == "" || env.GOARCH == "" || env.GoVersion == "" {
+		t.Fatalf("environment incomplete: %+v", env)
+	}
+	if env.NumCPU < 1 || env.GOMAXPROCS < 1 {
+		t.Fatalf("cpu counts: %+v", env)
+	}
+}

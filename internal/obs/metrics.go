@@ -1,0 +1,244 @@
+// Package obs is the observability substrate of the reproduction: an
+// allocation-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms), a span-based JSONL tracer with a pluggable
+// sink, and the versioned run-manifest document that turns every table the
+// commands print into a machine-readable, diffable artifact.
+//
+// The design constraint mirrors internal/solve: the engines' hot loops are
+// 0-alloc, so every instrument usable from a hot path is a plain atomic
+// operation on a pre-registered metric. Registration (the only map access)
+// happens once, in package var initializers; Observe/Add/Set never
+// allocate and never lock.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable; all methods are nil-safe so conditionally-wired metrics cost one
+// branch when absent.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, worker count).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by delta (e.g. +1/-1 around a critical section).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds v ≤ 0,
+// bucket i (i ≥ 1) holds 2^(i-1) ≤ v < 2^i. 64 buckets cover all of int64.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram for latencies and
+// queue depths. Observe is two atomic adds and one atomic max — no locks,
+// no allocation — so it is safe on warm paths (per-trial, per-solve; not
+// per-search-node, where even an atomic would be measurable).
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value. Negative values clamp into bucket 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations with value < Lt (and ≥ Lt/2, for Lt > 1).
+type HistogramBucket struct {
+	Lt    int64 `json:"lt"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Max     int64             `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the non-empty buckets. Counters may straddle a
+// concurrent Observe; the snapshot is for telemetry, not accounting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			lt := int64(1)
+			if i > 0 {
+				lt = 1 << i
+			}
+			s.Buckets = append(s.Buckets, HistogramBucket{Lt: lt, Count: c})
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Lookup is mutex-guarded and
+// intended for registration time only; the returned metric pointers are
+// the hot-path handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the engines publish into and the
+// /debug/metrics handler serves.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NewCounter registers (or finds) a counter on the Default registry —
+// the idiom for package-level metric vars.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge registers (or finds) a gauge on the Default registry.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram registers (or finds) a histogram on the Default registry.
+func NewHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// Snapshot returns every metric's current value keyed by name: int64 for
+// counters and gauges, HistogramSnapshot for histograms. The map
+// marshals with sorted keys, so two snapshots diff cleanly.
+func (r *Registry) Snapshot() map[string]interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]interface{}, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys (the
+// /debug/vars convention — encoding/json sorts map keys), one trailing
+// newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ServeHTTP serves the snapshot — mount the registry on the -pprof mux
+// (/debug/metrics) for live inspection of a long solve.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = r.WriteJSON(w)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge non-zero")
+	}
+	var h *Histogram
+	h.Observe(7) // must not panic
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solve.explored")
+	c.Add(100)
+	c.Inc()
+	if c.Value() != 101 {
+		t.Fatalf("counter = %d, want 101", c.Value())
+	}
+	if r.Counter("solve.explored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Add(-3)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("steps")
+	for _, v := range []int64{0, 1, 1, 3, 4, 100, -2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %d, want 100", s.Max)
+	}
+	if s.Sum != 0+1+1+3+4+100-2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	want := map[int64]int64{1: 2, 2: 2, 4: 1, 8: 1, 128: 1} // lt → count
+	for _, b := range s.Buckets {
+		if want[b.Lt] != b.Count {
+			t.Errorf("bucket lt=%d count=%d, want %d", b.Lt, b.Count, want[b.Lt])
+		}
+		delete(want, b.Lt)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(2)
+	r.Gauge("b.gauge").Set(-7)
+	r.Histogram("c.hist").Observe(5)
+
+	snap := r.Snapshot()
+	if snap["a.count"].(int64) != 2 || snap["b.gauge"].(int64) != -7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("handler output not JSON: %v", err)
+	}
+	if decoded["a.count"].(float64) != 2 {
+		t.Fatalf("handler snapshot = %v", decoded)
+	}
+	hist := decoded["c.hist"].(map[string]interface{})
+	if hist["count"].(float64) != 1 || hist["max"].(float64) != 5 {
+		t.Fatalf("histogram document = %v", hist)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	c := NewCounter("obs_test.helper_counter")
+	c.Inc()
+	if Default.Counter("obs_test.helper_counter").Value() < 1 {
+		t.Fatal("helper did not register on Default")
+	}
+	NewGauge("obs_test.helper_gauge").Set(1)
+	NewHistogram("obs_test.helper_hist").Observe(1)
+	snap := Default.Snapshot()
+	for _, name := range []string{"obs_test.helper_counter", "obs_test.helper_gauge", "obs_test.helper_hist"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("Default snapshot missing %s", name)
+		}
+	}
+}
+
+// Observe and Add must stay allocation-free: they run on warm engine
+// paths (per trial, per solve tick).
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot.counter")
+	h := r.Histogram("hot.hist")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v per op", n)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attrs are the key/value payload of one trace event. Maps allocate, so
+// callers on warm paths guard emission with Tracer/Span nil checks (or
+// Monitor.Tracing in package solve) before building one.
+type Attrs map[string]interface{}
+
+// Tracer emits JSONL trace events — solver spans, incumbent improvements,
+// cancellations, per-trial routing stats — to a pluggable sink. One event
+// per line, each a self-contained JSON object, so the stream is tail-able
+// and greppable while a long solve runs. All methods are safe on a nil
+// receiver: tracing disabled is a nil *Tracer, not a branch at every call
+// site.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	ids   atomic.Int64
+	err   error
+}
+
+// NewTracer wraps sink as a tracer. A nil sink returns a nil tracer
+// (tracing disabled).
+func NewTracer(sink io.Writer) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{w: sink, start: time.Now()}
+}
+
+// traceEvent is the wire form of one line.
+type traceEvent struct {
+	// MS is milliseconds since the tracer was created.
+	MS   float64 `json:"ms"`
+	Type string  `json:"type"` // "span_start", "span_end", "event"
+	Name string  `json:"name"`
+	// Span correlates events of one span; 0 for tracer-level events.
+	Span  int64 `json:"span,omitempty"`
+	Attrs Attrs `json:"attrs,omitempty"`
+}
+
+// emit serializes one event under the sink mutex. Sink errors are sticky
+// and silently stop emission: tracing is an aid, never a reason to fail
+// the computation.
+func (t *Tracer) emit(typ, name string, span int64, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(traceEvent{
+		MS:    float64(time.Since(t.start)) / float64(time.Millisecond),
+		Type:  typ,
+		Name:  name,
+		Span:  span,
+		Attrs: attrs,
+	})
+	if err != nil {
+		t.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the sticky sink error, if any (for end-of-run reporting).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event emits a tracer-level event outside any span.
+func (t *Tracer) Event(name string, attrs Attrs) {
+	t.emit("event", name, 0, attrs)
+}
+
+// StartSpan opens a span and emits its span_start event. On a nil tracer
+// it returns a nil span, whose methods no-op.
+func (t *Tracer) StartSpan(name string, attrs Attrs) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, id: t.ids.Add(1), name: name, start: time.Now()}
+	t.emit("span_start", name, s.id, attrs)
+	return s
+}
+
+// Span is one traced operation (a solve, a simulation batch). Events
+// emitted through it carry its id, so a multi-solver run's interleaved
+// lines reassemble per solver.
+type Span struct {
+	t     *Tracer
+	id    int64
+	name  string
+	start time.Time
+}
+
+// Event emits an event inside the span.
+func (s *Span) Event(name string, attrs Attrs) {
+	if s == nil {
+		return
+	}
+	s.t.emit("event", name, s.id, attrs)
+}
+
+// End closes the span, stamping elapsed_ms into the attrs (a nil attrs is
+// promoted to a fresh map).
+func (s *Span) End(attrs Attrs) {
+	if s == nil {
+		return
+	}
+	if attrs == nil {
+		attrs = Attrs{}
+	}
+	attrs["elapsed_ms"] = float64(time.Since(s.start)) / float64(time.Millisecond)
+	s.t.emit("span_end", s.name, s.id, attrs)
+}

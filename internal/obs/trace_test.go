@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) not nil")
+	}
+	var tr *Tracer
+	tr.Event("x", Attrs{"a": 1})
+	sp := tr.StartSpan("y", nil)
+	if sp != nil {
+		t.Fatal("nil tracer span not nil")
+	}
+	sp.Event("z", nil)
+	sp.End(nil)
+	if tr.Err() != nil {
+		t.Fatal("nil tracer error")
+	}
+}
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.StartSpan("solve", Attrs{"name": "B8"})
+	sp.Event("incumbent", Attrs{"value": 12})
+	sp.End(Attrs{"explored": 100})
+	tr.Event("done", nil)
+
+	var events []traceEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q not JSON: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	if events[0].Type != "span_start" || events[0].Name != "solve" || events[0].Span == 0 {
+		t.Fatalf("span_start = %+v", events[0])
+	}
+	if events[1].Type != "event" || events[1].Span != events[0].Span {
+		t.Fatalf("span event not correlated: %+v", events[1])
+	}
+	if events[2].Type != "span_end" {
+		t.Fatalf("span_end = %+v", events[2])
+	}
+	if _, ok := events[2].Attrs["elapsed_ms"]; !ok {
+		t.Fatal("span_end missing elapsed_ms")
+	}
+	if events[3].Span != 0 {
+		t.Fatalf("tracer-level event carries span id: %+v", events[3])
+	}
+}
+
+func TestTracerConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := tr.StartSpan("worker", Attrs{"w": w})
+			for i := 0; i < 50; i++ {
+				sp.Event("tick", Attrs{"i": i})
+			}
+			sp.End(nil)
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8*52 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*52)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errSink
+}
+
+var errSink = bytes.ErrTooLarge
+
+func TestTracerSinkErrorSticky(t *testing.T) {
+	fw := &failWriter{}
+	tr := NewTracer(fw)
+	tr.Event("a", nil)
+	tr.Event("b", nil)
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if fw.n != 1 {
+		t.Fatalf("emission continued after sink error (%d writes)", fw.n)
+	}
+}

@@ -9,8 +9,19 @@ import (
 	"time"
 
 	"repro/internal/cut"
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/topology"
+)
+
+// Registry metrics of the Monte-Carlo engine: observed once per trial
+// (never inside the per-step simulation loop, which stays 0-alloc and
+// atomic-free).
+var (
+	metricTrialsCompleted = obs.NewCounter("route.trials_completed")
+	metricTrialsDiscarded = obs.NewCounter("route.trials_discarded")
+	metricTrialSteps      = obs.NewHistogram("route.trial_steps")
+	metricTrialMaxQueue   = obs.NewHistogram("route.trial_max_queue")
 )
 
 // TrialKind selects the workload SimulateMany draws each trial from.
@@ -65,6 +76,11 @@ type ManyOptions struct {
 	// completed trials) every ProgressInterval (≤ 0: 1s).
 	OnProgress       func(solve.Progress)
 	ProgressInterval time.Duration
+	// Label names the simulation in progress lines and trace spans.
+	Label string
+	// Trace, when non-nil, receives one "trial" event per completed trial
+	// (seed, steps, bound, max queue) on the simulation's span.
+	Trace *obs.Tracer
 }
 
 // TrialStats aggregates the Monte-Carlo trials of one SimulateMany call.
@@ -72,41 +88,49 @@ type ManyOptions struct {
 // ⌈crossings/capacity⌉, the per-trial form of the §1.2 lower bound
 // time ≥ N/(4·BW); ratio fields stay zero when no trial had a positive
 // bound (e.g. with a nil reference cut).
+// The JSON tags make TrialStats the machine-readable §1.2 record of the
+// run manifests: the steps/bound ratios and the max-queue histogram are
+// regression-checkable fields, not just printed columns.
 type TrialStats struct {
 	// Trials counts the trials the aggregate actually covers; Requested
 	// is what the caller asked for. They differ only when the run was
 	// cancelled (Cancelled true), in which case the aggregate is over the
 	// completed prefix of trials only — valid statistics, smaller sample.
-	Trials    int
-	Requested int
-	Cancelled bool
+	Trials    int  `json:"trials"`
+	Requested int  `json:"requested"`
+	Cancelled bool `json:"cancelled,omitempty"`
 
-	TotalPackets int64
-	MeanPackets  float64
+	TotalPackets int64   `json:"total_packets"`
+	MeanPackets  float64 `json:"mean_packets"`
 
-	MinSteps, MaxSteps int
-	MeanSteps          float64
+	MinSteps  int     `json:"min_steps"`
+	MaxSteps  int     `json:"max_steps"`
+	MeanSteps float64 `json:"mean_steps"`
 
-	MeanCrossings float64
+	MeanCrossings float64 `json:"mean_crossings"`
 
-	MinBound, MaxBound int
-	MeanBound          float64
+	MinBound  int     `json:"min_bound"`
+	MaxBound  int     `json:"max_bound"`
+	MeanBound float64 `json:"mean_bound"`
 
 	// MinRatio/MeanRatio/MaxRatio summarize Steps/CongestionBound over
 	// the trials with a positive bound.
-	MinRatio, MeanRatio, MaxRatio float64
+	MinRatio  float64 `json:"min_ratio"`
+	MeanRatio float64 `json:"mean_ratio"`
+	MaxRatio  float64 `json:"max_ratio"`
 
 	// TightTrials counts trials with Steps ≤ TightFactor·CongestionBound:
 	// runs where greedy store-and-forward sits within TightFactor of the
 	// bisection bound.
-	TightFactor float64
-	TightTrials int
+	TightFactor float64 `json:"tight_factor"`
+	TightTrials int     `json:"tight_trials"`
 
 	// MaxQueuePeak/MeanMaxQueue/MaxQueueHist describe the distribution of
-	// the per-trial worst queue length.
-	MaxQueuePeak int
-	MeanMaxQueue float64
-	MaxQueueHist map[int]int
+	// the per-trial worst queue length. The histogram marshals with
+	// numerically sorted keys, so two manifests diff cleanly.
+	MaxQueuePeak int         `json:"max_queue_peak"`
+	MeanMaxQueue float64     `json:"mean_max_queue"`
+	MaxQueueHist map[int]int `json:"max_queue_hist"`
 }
 
 // TrialSeed derives the seed of trial t from a base seed (a splitmix64
@@ -163,6 +187,8 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 		Ctx:        opt.Ctx,
 		OnProgress: opt.OnProgress,
 		Interval:   opt.ProgressInterval,
+		Name:       opt.Label,
+		Trace:      opt.Trace,
 	})
 	defer mon.Close()
 
@@ -207,10 +233,24 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 				}
 				res, ok := st.runMonitored(maxSteps, mon)
 				if !ok {
+					metricTrialsDiscarded.Inc()
 					return // interrupted mid-trial; discard the partial run
 				}
 				results[t] = res
 				completed[t] = true
+				metricTrialsCompleted.Inc()
+				metricTrialSteps.Observe(int64(res.Steps))
+				metricTrialMaxQueue.Observe(int64(res.MaxQueue))
+				if mon.Tracing() {
+					mon.TraceEvent("trial", obs.Attrs{
+						"trial":     t,
+						"seed":      seed,
+						"steps":     res.Steps,
+						"bound":     res.CongestionBound,
+						"max_queue": res.MaxQueue,
+						"crossings": res.CutCrossings,
+					})
+				}
 				mon.Tick(1, 0)
 			}
 		}()

@@ -23,6 +23,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Registry metrics every Monitor publishes into: the explored/pruned
+// flushes land here at Tick cadence (one atomic add per TickStride nodes),
+// durations and cancellations at Close. /debug/metrics and the run
+// manifest read these.
+var (
+	metricStarted    = obs.NewCounter("solve.monitors_started")
+	metricCancelled  = obs.NewCounter("solve.monitors_cancelled")
+	metricExplored   = obs.NewCounter("solve.nodes_explored")
+	metricPruned     = obs.NewCounter("solve.nodes_pruned")
+	metricDurationMS = obs.NewHistogram("solve.duration_ms")
 )
 
 // TickStride is how many search nodes an engine should explore between
@@ -33,6 +47,9 @@ const TickStride = 4096
 
 // Progress is a point-in-time snapshot of a running (or finished) solve.
 type Progress struct {
+	// Solver labels the solve (Options.Name), so progress lines from
+	// concurrent solvers are attributable.
+	Solver string
 	// Explored is the number of search-tree nodes (or trials, for the
 	// Monte-Carlo engine) processed so far.
 	Explored int64
@@ -73,6 +90,13 @@ type Options struct {
 	OnProgress func(Progress)
 	// Interval between OnProgress calls; ≤ 0 means 1s.
 	Interval time.Duration
+	// Name labels the solve in progress lines and trace spans (e.g.
+	// "bisection B16", "EE(W16,k) survey").
+	Name string
+	// Trace, when non-nil, receives span_start/incumbent/cancelled/
+	// span_end events for this solve. nil disables tracing with zero
+	// hot-path cost.
+	Trace *obs.Tracer
 }
 
 // Monitor is the shared stop flag + telemetry counters of one solve. All
@@ -82,6 +106,8 @@ type Options struct {
 type Monitor struct {
 	start time.Time
 	stop  atomic.Bool
+	name  string
+	span  *obs.Span
 
 	explored     atomic.Int64
 	pruned       atomic.Int64
@@ -100,13 +126,16 @@ type Monitor struct {
 // return immediately. Callers must Close the Monitor to release its
 // watcher goroutines.
 func Start(opts Options) *Monitor {
-	m := &Monitor{start: time.Now(), quit: make(chan struct{})}
+	m := &Monitor{start: time.Now(), quit: make(chan struct{}), name: opts.Name}
+	metricStarted.Inc()
+	m.span = opts.Trace.StartSpan("solve", obs.Attrs{"name": opts.Name})
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if ctx.Err() != nil {
 		m.stop.Store(true)
+		m.span.Event("cancelled", obs.Attrs{"reason": "context expired before start"})
 	} else if done := ctx.Done(); done != nil {
 		m.wg.Add(1)
 		go func() {
@@ -114,6 +143,7 @@ func Start(opts Options) *Monitor {
 			select {
 			case <-done:
 				m.stop.Store(true)
+				m.span.Event("cancelled", obs.Attrs{"reason": "context done"})
 			case <-m.quit:
 			}
 		}()
@@ -141,12 +171,26 @@ func Start(opts Options) *Monitor {
 	return m
 }
 
-// Close releases the watcher goroutines. Idempotent and nil-safe.
+// Close releases the watcher goroutines and publishes the end-of-solve
+// telemetry (duration histogram, cancellation counter, span_end).
+// Idempotent and nil-safe.
 func (m *Monitor) Close() {
 	if m == nil {
 		return
 	}
-	m.once.Do(func() { close(m.quit) })
+	m.once.Do(func() {
+		close(m.quit)
+		cancelled := m.stop.Load()
+		metricDurationMS.Observe(int64(time.Since(m.start) / time.Millisecond))
+		if cancelled {
+			metricCancelled.Inc()
+		}
+		m.span.End(obs.Attrs{
+			"explored":  m.explored.Load(),
+			"pruned":    m.pruned.Load(),
+			"cancelled": cancelled,
+		})
+	})
 	m.wg.Wait()
 }
 
@@ -172,9 +216,11 @@ func (m *Monitor) Tick(explored, pruned int64) bool {
 	}
 	if explored != 0 {
 		m.explored.Add(explored)
+		metricExplored.Add(explored)
 	}
 	if pruned != 0 {
 		m.pruned.Add(pruned)
+		metricPruned.Add(pruned)
 	}
 	return m.stop.Load()
 }
@@ -188,6 +234,25 @@ func (m *Monitor) SetIncumbent(v int64) {
 	m.incumbent.Store(v)
 	m.hasIncumbent.Store(true)
 	m.improvedAt.Store(int64(time.Since(m.start)))
+	if m.span != nil {
+		m.span.Event("incumbent", obs.Attrs{"value": v, "explored": m.explored.Load()})
+	}
+}
+
+// Tracing reports whether this solve has a trace span, so callers can
+// skip building the Attrs map (which allocates) when tracing is off.
+func (m *Monitor) Tracing() bool {
+	return m != nil && m.span != nil
+}
+
+// TraceEvent emits an event on the solve's span (engine-specific detail
+// like per-trial routing stats). No-op without a span; guard with Tracing
+// to avoid constructing attrs needlessly.
+func (m *Monitor) TraceEvent(name string, attrs obs.Attrs) {
+	if m == nil {
+		return
+	}
+	m.span.Event(name, attrs)
 }
 
 // Explored returns the flushed explored-node total.
@@ -222,6 +287,7 @@ func (m *Monitor) Snapshot() Progress {
 		return Progress{}
 	}
 	p := Progress{
+		Solver:       m.name,
 		Explored:     m.explored.Load(),
 		Pruned:       m.pruned.Load(),
 		Incumbent:    m.incumbent.Load(),

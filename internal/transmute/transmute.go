@@ -153,12 +153,12 @@ func RebalanceInputs(b *topology.Butterfly, side []bool) (moves int, err error) 
 
 // Result records one run of the full Lemma 3.2 pipeline.
 type Result struct {
-	SplitLevel    int
-	WnCapacity    int
-	BnCapacity    int // after transmutation (must equal WnCapacity)
-	FinalCapacity int // after rebalancing (must be ≤ WnCapacity)
-	Moves         int
-	InputBisected bool
+	SplitLevel    int  `json:"split_level"`
+	WnCapacity    int  `json:"wn_capacity"`
+	BnCapacity    int  `json:"bn_capacity"`    // after transmutation (must equal WnCapacity)
+	FinalCapacity int  `json:"final_capacity"` // after rebalancing (must be ≤ WnCapacity)
+	Moves         int  `json:"moves"`
+	InputBisected bool `json:"input_bisected"`
 }
 
 // Run executes the whole pipeline on a bisection of Wn.
