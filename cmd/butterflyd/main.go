@@ -1,0 +1,136 @@
+// Command butterflyd is the long-running query daemon over the
+// reproduction's engines: an HTTP/JSON API serving bisection widths,
+// §4.3 expansion tables, Monte-Carlo routing statistics and the full
+// E1–E17 report, with an LRU result cache, coalescing of concurrent
+// identical queries, per-request deadlines, and explicit overload
+// control (429/503).
+//
+// Responses reuse the run-manifest JSON schema of the CLI commands'
+// -json flag (schema "repro/run-manifest", version 1), so a served
+// answer and a paperrepro artifact are interchangeable downstream.
+//
+// Endpoints:
+//
+//	/v1/bisection?network=bn&n=1024[&exact-nodes=32][&timeout=5s]
+//	/v1/expansion?kind=ee_wn&n=256[&d=1,2,3][&exact-nodes=32][&kmax=8]
+//	/v1/routing?n=64[&kind=random|permutation][&trials=25][&seed=1]
+//	/v1/report[?quick=true][&seed=1]
+//	/healthz          200 while serving, 503 while draining
+//	/debug/metrics    live metrics registry (cache, latency, solver)
+//
+// SIGINT/SIGTERM drain gracefully: in-flight solves are signalled to
+// wind down, their handlers return best-so-far results marked non-exact
+// (complete=false in the response's serve table), and the process exits
+// once every response is written or -drain expires.
+//
+// Usage:
+//
+//	butterflyd [-addr localhost:8080] [-inflight 0] [-queue 0]
+//	           [-queue-wait 2s] [-default-timeout 10s] [-max-timeout 60s]
+//	           [-cache 256] [-drain 30s] [-trace path] [-pprof addr]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a solve slot before 429 (0 = 4×inflight)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a queued request waits for a slot before 503")
+	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "solve budget when the request names none")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested solve budgets")
+	cacheEntries := flag.Int("cache", 256, "result-cache entries (LRU)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	tracePath := flag.String("trace", "", "write request and solver trace events (JSONL) to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + /debug/metrics on this extra address")
+	flag.Parse()
+
+	cli.Validate(
+		cli.NonNegative("inflight", *inflight),
+		cli.NonNegative("queue", *queue),
+		cli.Positive("cache", *cacheEntries),
+	)
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(f)
+	}
+
+	cli.StartPprof(*pprofAddr)
+
+	srv := serve.New(serve.Config{
+		MaxInflight:     *inflight,
+		MaxQueue:        *queue,
+		QueueWait:       *queueWait,
+		DefaultDeadline: *defaultTimeout,
+		MaxDeadline:     *maxTimeout,
+		CacheEntries:    *cacheEntries,
+		Trace:           tracer,
+	})
+
+	// Bind synchronously so an occupied port is an immediate exit-1, not
+	// a daemon that looks alive and serves nothing.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "butterflyd: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "butterflyd: serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "butterflyd: draining (up to %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "butterflyd: serve: %v\n", err)
+		os.Exit(1)
+	}
+	if traceFile != nil {
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "butterflyd: drained cleanly")
+}

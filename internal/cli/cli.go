@@ -12,7 +12,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -148,30 +148,46 @@ func ProgressPrinter(enabled bool) func(solve.Progress) {
 	}
 }
 
-// registerMetricsHandler exposes the default metrics registry on the same
-// mux as /debug/pprof, once per process.
-var registerMetricsHandler = sync.OnceFunc(func() {
-	http.Handle("/debug/metrics", obs.Default)
-})
+// pprofMux builds the diagnostic mux: the net/http/pprof handlers plus
+// /debug/metrics. A dedicated mux (rather than nil = DefaultServeMux)
+// keeps stray http.Handle registrations elsewhere in the process from
+// leaking onto the diagnostic port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/metrics", obs.Default)
+	return mux
+}
 
 // StartPprof serves net/http/pprof plus /debug/metrics on addr (e.g.
 // "localhost:6060") when non-empty. The listener is bound synchronously so
 // a bad address or an occupied port surfaces as an immediate stderr
 // warning instead of a silently dead goroutine; failures are reported, not
 // fatal, because profiling is a diagnostic aid, never a reason to abort
-// the computation.
+// the computation. The server carries a ReadHeaderTimeout so one stalled
+// client cannot pin the diagnostic port open indefinitely (pprof profile
+// responses themselves stream for their requested duration, so there is
+// deliberately no WriteTimeout).
 func StartPprof(addr string) {
 	if addr == "" {
 		return
 	}
-	registerMetricsHandler()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "warning: pprof server on %s failed to start: %v\n", addr, err)
 		return
 	}
+	srv := &http.Server{
+		Handler:           pprofMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := srv.Serve(ln); err != nil {
 			fmt.Fprintf(stderr, "warning: pprof server: %v\n", err)
 		}
 	}()

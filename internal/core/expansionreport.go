@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -61,20 +62,34 @@ func (k ExpansionKind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.Slug() + `"`), nil
 }
 
+// ParseExpansionKind maps a manifest slug ("ee_wn", "ne_bn", ...) back to
+// its kind — the inverse of Slug, shared by manifest round trips and the
+// query-server request parser.
+func ParseExpansionKind(slug string) (ExpansionKind, error) {
+	switch slug {
+	case "ee_wn":
+		return WnEdge, nil
+	case "ne_wn":
+		return WnNode, nil
+	case "ee_bn":
+		return BnEdge, nil
+	case "ne_bn":
+		return BnNode, nil
+	}
+	return 0, fmt.Errorf("core: unknown expansion kind %q", slug)
+}
+
 // UnmarshalJSON accepts the slug form back (manifest round trips).
 func (k *ExpansionKind) UnmarshalJSON(data []byte) error {
-	switch string(data) {
-	case `"ee_wn"`:
-		*k = WnEdge
-	case `"ne_wn"`:
-		*k = WnNode
-	case `"ee_bn"`:
-		*k = BnEdge
-	case `"ne_bn"`:
-		*k = BnNode
-	default:
-		return fmt.Errorf("core: unknown expansion kind %s", data)
+	var slug string
+	if err := json.Unmarshal(data, &slug); err != nil {
+		return fmt.Errorf("core: expansion kind: %w", err)
 	}
+	kind, err := ParseExpansionKind(slug)
+	if err != nil {
+		return err
+	}
+	*k = kind
 	return nil
 }
 

@@ -84,10 +84,15 @@ type Histogram struct {
 	max     atomic.Int64
 }
 
-// Observe records one value. Negative values clamp into bucket 0.
+// Observe records one value. Negative values clamp to 0 — bucket,
+// sum and max all see the clamped value, so Snapshot().Sum can never
+// disagree with (or run negative against) the bucket counts.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	i := 0
 	if v > 0 {

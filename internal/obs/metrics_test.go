@@ -57,7 +57,8 @@ func TestHistogramBuckets(t *testing.T) {
 	if s.Max != 100 {
 		t.Fatalf("max = %d, want 100", s.Max)
 	}
-	if s.Sum != 0+1+1+3+4+100-2 {
+	// The -2 observation clamps to 0 everywhere: bucket, sum and max.
+	if s.Sum != 0+1+1+3+4+100 {
 		t.Fatalf("sum = %d", s.Sum)
 	}
 	want := map[int64]int64{1: 2, 2: 2, 4: 1, 8: 1, 128: 1} // lt → count
@@ -69,6 +70,24 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if len(want) != 0 {
 		t.Errorf("missing buckets: %v", want)
+	}
+}
+
+// TestHistogramNegativeClamp is the regression test for the sum/bucket
+// disagreement: Observe documented that negatives clamp into bucket 0,
+// but the sum still subtracted them, so a negative-heavy histogram could
+// report Sum < 0 against nonzero bucket counts.
+func TestHistogramNegativeClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("neg")
+	h.Observe(-5)
+	h.Observe(-1)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 2/0/0", s.Count, s.Sum, s.Max)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Lt != 1 || s.Buckets[0].Count != 2 {
+		t.Fatalf("buckets = %+v, want one bucket lt=1 count=2", s.Buckets)
 	}
 }
 

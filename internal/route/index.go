@@ -62,7 +62,10 @@ func buildDirIndex(b *topology.Butterfly) *dirIndex {
 // indexCache keys prebuilt indices by butterfly shape: same (n, wrap)
 // means an identical graph, so repeated trials, both experiment kinds,
 // and freshly constructed butterflies of the same size all share one
-// build. The cache is bounded; the oldest shape is evicted first.
+// build. The cache is bounded with LRU eviction: hits promote their key
+// to the back of the order, so a hot shape survives a sweep over many
+// cold ones (a long-lived server process makes that the common access
+// pattern).
 var indexCache struct {
 	sync.Mutex
 	m     map[indexKey]*dirIndex
@@ -81,6 +84,7 @@ func indexFor(b *topology.Butterfly) *dirIndex {
 	indexCache.Lock()
 	defer indexCache.Unlock()
 	if ix, ok := indexCache.m[key]; ok {
+		promoteLocked(key)
 		return ix
 	}
 	ix := buildDirIndex(b)
@@ -94,4 +98,18 @@ func indexFor(b *topology.Butterfly) *dirIndex {
 		indexCache.order = indexCache.order[1:]
 	}
 	return ix
+}
+
+// promoteLocked moves key to the back of the eviction order (most
+// recently used). Caller holds indexCache.Mutex; the order slice is at
+// most indexCacheLimit long, so the linear scan is trivial.
+func promoteLocked(key indexKey) {
+	order := indexCache.order
+	for i, k := range order {
+		if k == key {
+			copy(order[i:], order[i+1:])
+			order[len(order)-1] = key
+			return
+		}
+	}
 }

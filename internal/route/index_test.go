@@ -1,0 +1,126 @@
+package route
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// resetIndexCache empties the shape-keyed index cache so LRU tests start
+// from a known state.
+func resetIndexCache() {
+	indexCache.Lock()
+	defer indexCache.Unlock()
+	indexCache.m = nil
+	indexCache.order = nil
+}
+
+// TestIndexCacheLRUPromotesHotShape is the regression test for the FIFO
+// eviction bug: a shape touched on every cycle of a sweep over more than
+// indexCacheLimit shapes must keep its prebuilt index (pointer identity),
+// instead of being evicted in insertion order and rebuilt every cycle.
+func TestIndexCacheLRUPromotesHotShape(t *testing.T) {
+	resetIndexCache()
+	defer resetIndexCache()
+
+	hot := topology.NewButterfly(4)
+	hotIx := indexFor(hot)
+
+	// Sweep indexCacheLimit cold shapes, re-touching the hot shape between
+	// insertions. Under FIFO the hot shape (oldest insertion) dies as soon
+	// as the cache overflows; under LRU every re-touch keeps it newest.
+	cold := []*topology.Butterfly{
+		topology.NewButterfly(2),
+		topology.NewButterfly(8),
+		topology.NewButterfly(16),
+		topology.NewButterfly(32),
+		topology.NewWrappedButterfly(4),
+		topology.NewWrappedButterfly(8),
+		topology.NewWrappedButterfly(16),
+		topology.NewWrappedButterfly(32),
+	}
+	if len(cold) != indexCacheLimit {
+		t.Fatalf("test wants %d cold shapes, has %d", indexCacheLimit, len(cold))
+	}
+	for _, b := range cold {
+		indexFor(b)
+		if got := indexFor(hot); got != hotIx {
+			t.Fatalf("hot shape rebuilt mid-sweep: %p != %p", got, hotIx)
+		}
+	}
+	if got := indexFor(hot); got != hotIx {
+		t.Fatalf("hot shape evicted by cold sweep: %p != %p", got, hotIx)
+	}
+
+	// The first cold shape is the one that should have been evicted.
+	indexCache.Lock()
+	_, aliveFirstCold := indexCache.m[indexKey{cold[0].Inputs(), cold[0].Wraparound()}]
+	size := len(indexCache.m)
+	indexCache.Unlock()
+	if aliveFirstCold {
+		t.Fatal("least-recently-used cold shape was not evicted")
+	}
+	if size != indexCacheLimit {
+		t.Fatalf("cache holds %d entries, want %d", size, indexCacheLimit)
+	}
+}
+
+// TestSimulateManyConcurrentShapes runs SimulateMany across more distinct
+// shapes than the index cache holds, concurrently, so cache eviction,
+// rebuild, and LRU promotion race against each other. The assertions are
+// per-shape determinism (same seed → same aggregate, whatever the cache
+// did); the race detector covers the locking.
+func TestSimulateManyConcurrentShapes(t *testing.T) {
+	resetIndexCache()
+	defer resetIndexCache()
+
+	type shape struct {
+		n    int
+		wrap bool
+	}
+	shapes := []shape{
+		{2, false}, {4, false}, {8, false}, {16, false}, {32, false},
+		{4, true}, {8, true}, {16, true}, {32, true}, {64, true},
+	}
+	if len(shapes) <= indexCacheLimit {
+		t.Fatalf("test wants more than %d shapes, has %d", indexCacheLimit, len(shapes))
+	}
+
+	// Reference aggregates, computed serially.
+	want := make([]TrialStats, len(shapes))
+	for i, s := range shapes {
+		want[i] = runShape(s.n, s.wrap)
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*len(shapes))
+	for r := 0; r < rounds; r++ {
+		for i, s := range shapes {
+			wg.Add(1)
+			go func(i int, s shape) {
+				defer wg.Done()
+				got := runShape(s.n, s.wrap)
+				if got.Trials != want[i].Trials || got.MeanSteps != want[i].MeanSteps ||
+					got.TotalPackets != want[i].TotalPackets || got.MaxQueuePeak != want[i].MaxQueuePeak {
+					errs <- "shape diverged under concurrency"
+				}
+			}(i, s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func runShape(n int, wrap bool) TrialStats {
+	if wrap {
+		w := topology.NewWrappedButterfly(n)
+		return SimulateMany(w, nil, WrappedRandomDestinations, ManyOptions{Trials: 3, Workers: 2, Seed: 7})
+	}
+	b := topology.NewButterfly(n)
+	return SimulateMany(b, nil, RandomDestinations, ManyOptions{Trials: 3, Workers: 2, Seed: 7})
+}

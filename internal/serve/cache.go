@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Registry metrics of the result cache. /debug/metrics serves them live,
+// and the CI smoke test asserts a repeated query lands as a hit.
+var (
+	metricCacheHits      = obs.NewCounter("serve.cache_hits")
+	metricCacheMisses    = obs.NewCounter("serve.cache_misses")
+	metricCacheEvictions = obs.NewCounter("serve.cache_evictions")
+	metricCacheSize      = obs.NewGauge("serve.cache_size")
+)
+
+// lruCache is the bounded result cache: canonical request key → rendered
+// response. get promotes its key to most-recently-used, put evicts the
+// least-recently-used entry past the limit. Entries are immutable once
+// stored (handlers serve the cached bytes verbatim), so the cache hands
+// out shared pointers without copying.
+type lruCache struct {
+	mu    sync.Mutex
+	limit int
+	m     map[string]*list.Element
+	order *list.List // front = least recently used, back = most recent
+}
+
+type lruEntry struct {
+	key  string
+	resp *response
+}
+
+func newLRUCache(limit int) *lruCache {
+	return &lruCache{
+		limit: limit,
+		m:     make(map[string]*list.Element, limit),
+		order: list.New(),
+	}
+}
+
+// get returns the cached response for key, promoting it to
+// most-recently-used. The hit/miss counters are maintained here so every
+// lookup path is counted identically.
+func (c *lruCache) get(key string) (*response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		metricCacheMisses.Inc()
+		return nil, false
+	}
+	c.order.MoveToBack(el)
+	metricCacheHits.Inc()
+	return el.Value.(*lruEntry).resp, true
+}
+
+// put stores resp under key, evicting the least-recently-used entry when
+// the cache is full. Re-putting an existing key replaces its value and
+// promotes it.
+func (c *lruCache) put(key string, resp *response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToBack(el)
+		return
+	}
+	c.m[key] = c.order.PushBack(&lruEntry{key: key, resp: resp})
+	if c.order.Len() > c.limit {
+		oldest := c.order.Front()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+		metricCacheEvictions.Inc()
+	}
+	metricCacheSize.Set(int64(c.order.Len()))
+}
+
+// len reports the number of cached responses.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

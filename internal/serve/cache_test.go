@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRUCache(2)
+	a, b, d := &response{body: []byte("a")}, &response{body: []byte("b")}, &response{body: []byte("d")}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.put("d", d) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if got, ok := c.get("a"); !ok || string(got.body) != "a" {
+		t.Fatal("promoted entry a was evicted")
+	}
+	if got, ok := c.get("d"); !ok || string(got.body) != "d" {
+		t.Fatal("fresh entry d missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUCacheReplaceExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("k", &response{body: []byte("v1")})
+	c.put("k", &response{body: []byte("v2")})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	got, ok := c.get("k")
+	if !ok || string(got.body) != "v2" {
+		t.Fatalf("got %q, want v2", got.body)
+	}
+}
+
+func TestFlightGroupCoalescesConcurrentCalls(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var solves int
+
+	const followers = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sharedCount := 0
+
+	// Leader: blocks in fn until the gate opens.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, shared, err := g.do(context.Background(), "k", func() (*response, error) {
+			close(started)
+			<-gate
+			solves++
+			return &response{body: []byte("r")}, nil
+		})
+		if err != nil || shared || string(resp.body) != "r" {
+			t.Errorf("leader: resp=%v shared=%v err=%v", resp, shared, err)
+		}
+	}()
+	<-started
+
+	before := metricCoalesced.Value()
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, shared, err := g.do(context.Background(), "k", func() (*response, error) {
+				t.Error("follower executed fn")
+				return nil, nil
+			})
+			if err != nil || string(resp.body) != "r" {
+				t.Errorf("follower: resp=%v err=%v", resp, err)
+			}
+			if shared {
+				mu.Lock()
+				sharedCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Wait for every follower to attach before releasing the leader.
+	waitFor(t, func() bool { return metricCoalesced.Value()-before >= followers },
+		"followers never attached")
+	close(gate)
+	wg.Wait()
+	if solves != 1 {
+		t.Fatalf("fn ran %d times, want 1", solves)
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d of %d followers reported shared", sharedCount, followers)
+	}
+}
+
+func TestFlightGroupFollowerContextCancel(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = g.do(context.Background(), "k", func() (*response, error) {
+			close(started)
+			<-gate
+			return &response{}, nil
+		})
+	}()
+	<-started
+	defer close(gate)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.do(ctx, "k", func() (*response, error) { return &response{}, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("shared=%v err=%v, want shared follower with context.Canceled", shared, err)
+	}
+}
+
+func TestFlightGroupSequentialCallsDoNotShare(t *testing.T) {
+	g := newFlightGroup()
+	for i := 0; i < 2; i++ {
+		resp, shared, err := g.do(context.Background(), "k", func() (*response, error) {
+			return &response{body: []byte(fmt.Sprint(i))}, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+		if string(resp.body) != fmt.Sprint(i) {
+			t.Fatalf("call %d returned stale result %q", i, resp.body)
+		}
+	}
+}

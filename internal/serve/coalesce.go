@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// metricCoalesced counts requests that joined an identical in-flight
+// solve instead of starting their own — the coalescing tests poll it to
+// know all followers have attached before releasing the leader.
+var metricCoalesced = obs.NewCounter("serve.coalesced")
+
+// flightGroup is a singleflight: concurrent calls with the same key share
+// one execution of fn. Unlike a cache it holds no results past the call —
+// the lruCache layered above it handles reuse across time; the group only
+// collapses the concurrent burst.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *response
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, or — when an identical call is already in flight —
+// waits for that call's result. shared reports whether this caller joined
+// rather than led. A waiting follower whose ctx expires abandons the wait
+// (the leader keeps solving for the remaining followers) and gets
+// ctx.Err().
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*response, error)) (resp *response, shared bool, err error) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		metricCoalesced.Inc()
+		select {
+		case <-call.done:
+			return call.resp, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	defer func() {
+		// Publish the result (even on panic: followers see a nil response
+		// rather than hanging forever) and retire the key so the next
+		// identical request starts fresh.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+	}()
+	call.resp, call.err = fn()
+	return call.resp, false, call.err
+}

@@ -1,0 +1,397 @@
+// Package serve is the long-running query layer over the reproduction's
+// engines: butterflyd's HTTP/JSON API. Each endpoint parses a query into
+// its canonical form, answers from a bounded LRU result cache when it can,
+// coalesces concurrent identical queries into one underlying solve, and
+// otherwise runs the engines under a per-request deadline threaded into
+// solve.Monitor contexts — so an expensive query degrades to a best-so-far
+// answer marked non-exact, exactly like the CLI commands under -timeout.
+//
+// Responses reuse the obs.Manifest run-manifest schema: the same named
+// tables the commands write under -json, one document per request, so
+// server answers and CLI artifacts are interchangeable downstream.
+//
+// Overload is explicit, not implicit: a worker semaphore bounds concurrent
+// solves, a bounded wait queue absorbs short bursts, and past that the
+// server answers 429 (queue full) or 503 (queued too long / draining)
+// instead of stacking goroutines. Shutdown drains: in-flight solves are
+// signalled to wind down and their handlers still write best-so-far
+// responses before the listener closes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Registry metrics of the request path.
+var (
+	metricRequests    = obs.NewCounter("serve.requests")
+	metricSolves      = obs.NewCounter("serve.solves")
+	metricErrors      = obs.NewCounter("serve.errors")
+	metricRejected429 = obs.NewCounter("serve.rejected_429")
+	metricRejected503 = obs.NewCounter("serve.rejected_503")
+	metricInflight    = obs.NewGauge("serve.inflight")
+)
+
+// Config tunes a Server. The zero value serves with GOMAXPROCS solve
+// workers, a 4×-deep wait queue, a 10s default / 60s maximum deadline and
+// a 256-entry result cache.
+type Config struct {
+	// MaxInflight bounds concurrently running solves (≤0: GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a solve slot; past it the
+	// server answers 429 immediately (≤0: 4×MaxInflight).
+	MaxQueue int
+	// QueueWait is how long an admitted-to-queue request waits for a slot
+	// before a 503 (≤0: 2s).
+	QueueWait time.Duration
+	// DefaultDeadline is the solve budget when the request names none
+	// (≤0: 10s); MaxDeadline caps client-requested budgets (≤0: 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// CacheEntries bounds the LRU result cache (≤0: 256).
+	CacheEntries int
+	// Trace, when non-nil, receives one span per request plus the solver
+	// spans of the engines it runs.
+	Trace *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.DefaultDeadline > c.MaxDeadline {
+		c.DefaultDeadline = c.MaxDeadline
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server is the butterflyd query daemon: a hardened http.Server over a
+// dedicated mux, the result cache, the coalescing group and the admission
+// semaphore. Build it with New, run it with Serve, stop it with Shutdown.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	http   *http.Server
+	cache  *lruCache
+	flight *flightGroup
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// baseCtx parents every solve context; Shutdown cancels it so
+	// in-flight solves wind down to best-so-far results while their
+	// handlers finish writing.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	env obs.Environment
+
+	// solveHook, when non-nil, is invoked by the coalescing leader after
+	// admission, before solving. Tests set it (before the server starts)
+	// to hold a solve in flight while followers attach; production leaves
+	// it nil.
+	solveHook func(key string)
+}
+
+// response is one rendered API answer. complete reports that the solve
+// ran to its natural end (nothing was cancelled by deadline or drain) —
+// only complete responses enter the cache, so a budget-truncated answer
+// can never mask the full one.
+type response struct {
+	body     []byte
+	complete bool
+}
+
+// httpError carries a status code through the solve path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+var (
+	errQueueFull = &httpError{http.StatusTooManyRequests, "solve queue full, retry later"}
+	errQueueWait = &httpError{http.StatusServiceUnavailable, "no solve slot within the queue wait, retry later"}
+	errDraining  = &httpError{http.StatusServiceUnavailable, "server is draining"}
+)
+
+// New builds a Server (not yet listening).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		cache:  newLRUCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+		sem:    make(chan struct{}, cfg.MaxInflight),
+		env:    obs.CaptureEnvironment(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/debug/metrics", obs.Default)
+	s.mux.HandleFunc("/v1/bisection", s.handleQuery("bisection", parseBisectionRequest))
+	s.mux.HandleFunc("/v1/expansion", s.handleQuery("expansion", parseExpansionRequest))
+	s.mux.HandleFunc("/v1/routing", s.handleQuery("routing", parseRoutingRequest))
+	s.mux.HandleFunc("/v1/report", s.handleQuery("report", parseReportRequest))
+
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: responses are written after solves that may
+		// legitimately run up to MaxDeadline; the solve deadline is the
+		// write bound.
+	}
+	return s
+}
+
+// Handler returns the server's dedicated mux — the full API surface —
+// for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown; like http.Server.Serve
+// it returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
+
+// Shutdown drains the server: /healthz flips to 503 (load balancers stop
+// routing), in-flight solves are signalled to wind down — they return
+// best-so-far results marked non-exact, and their handlers still write
+// those responses — and the HTTP server stops once every handler has
+// finished, or when ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.baseCancel()
+	return s.http.Shutdown(ctx)
+}
+
+// handleHealthz answers 200 "ok" while serving and 503 "draining" once
+// shutdown has begun.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleQuery wraps one API endpoint: parse → cache → coalesce → admit →
+// solve under deadline → render, with the endpoint's latency histogram
+// and an optional trace span around the whole request.
+func (s *Server) handleQuery(name string, parse func(q queryValues) (queryRequest, error)) http.HandlerFunc {
+	latency := obs.NewHistogram("serve.latency_ms." + name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		metricRequests.Inc()
+		metricInflight.Add(1)
+		defer metricInflight.Add(-1)
+		defer func() {
+			latency.Observe(int64(time.Since(start) / time.Millisecond))
+		}()
+
+		if r.Method != http.MethodGet {
+			s.writeError(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+			return
+		}
+		q := queryValues(r.URL.Query())
+		req, err := parse(q)
+		if err != nil {
+			s.writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		deadline, err := q.deadline(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+		if err != nil {
+			s.writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		key := name + "?" + req.Key()
+
+		span := s.cfg.Trace.StartSpan("request", obs.Attrs{"endpoint": name, "key": key})
+		status, source := http.StatusOK, "miss"
+		defer func() {
+			span.End(obs.Attrs{"status": status, "source": source})
+		}()
+
+		if resp, ok := s.cache.get(key); ok {
+			source = "hit"
+			s.writeResponse(w, resp, source)
+			return
+		}
+
+		resp, shared, err := s.flight.do(r.Context(), key, func() (*response, error) {
+			return s.solve(r.Context(), name, key, req, deadline)
+		})
+		if shared {
+			source = "coalesced"
+		}
+		if err == nil && resp == nil {
+			err = &httpError{http.StatusInternalServerError, "solve produced no result"}
+		}
+		if err != nil {
+			status = errorStatus(err)
+			s.writeError(w, err)
+			return
+		}
+		s.writeResponse(w, resp, source)
+	}
+}
+
+// solve is the coalescing leader's path: admission, deadline, engines,
+// rendering, cache fill.
+func (s *Server) solve(reqCtx context.Context, name, key string, req queryRequest, deadline time.Duration) (*response, error) {
+	release, err := s.admit(reqCtx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	if s.solveHook != nil {
+		s.solveHook(key)
+	}
+
+	// The solve context parents on the server, not the leader's client:
+	// coalesced followers (and the cache) still want the answer if the
+	// leading client disconnects, and Shutdown cancels baseCtx so drain
+	// turns every in-flight solve into a prompt best-so-far return.
+	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+	defer cancel()
+
+	metricSolves.Inc()
+	begin := time.Now()
+	m, err := req.Solve(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	complete := ctx.Err() == nil
+
+	m.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	env := s.env
+	m.Env = &env
+	m.AddTable("serve", "butterflyd request record", []requestRow{{
+		Endpoint:   name,
+		Key:        key,
+		Complete:   complete,
+		DeadlineMS: float64(deadline) / float64(time.Millisecond),
+	}})
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+
+	resp := &response{body: body, complete: complete}
+	if complete {
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// admit acquires a solve slot. A free slot is immediate; otherwise the
+// request queues — bounded by MaxQueue (past it: 429) and by QueueWait
+// (past it: 503). A draining server admits nothing new.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		metricRejected503.Inc()
+		return nil, errDraining
+	}
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		metricRejected429.Inc()
+		return nil, errQueueFull
+	}
+	defer s.queued.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-t.C:
+		metricRejected503.Inc()
+		return nil, errQueueWait
+	case <-ctx.Done():
+		return nil, &httpError{http.StatusServiceUnavailable, "client gave up while queued"}
+	case <-s.baseCtx.Done():
+		metricRejected503.Inc()
+		return nil, errDraining
+	}
+}
+
+// requestRow is the per-request metadata table every response carries:
+// which endpoint answered, under which canonical key, whether the solve
+// ran to completion (false: deadline or drain truncated it and the rows
+// are best-so-far, marked non-exact where applicable), and the budget of
+// the request that did the solving.
+type requestRow struct {
+	Endpoint   string  `json:"endpoint"`
+	Key        string  `json:"key"`
+	Complete   bool    `json:"complete"`
+	DeadlineMS float64 `json:"deadline_ms"`
+}
+
+func (s *Server) writeResponse(w http.ResponseWriter, resp *response, source string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Cache", source)
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	_, _ = w.Write(resp.body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	metricErrors.Inc()
+	status := errorStatus(err)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func errorStatus(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.status
+	}
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
