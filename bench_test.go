@@ -38,6 +38,16 @@ func BenchmarkFig1Structure(b *testing.B) {
 
 // --- E2: BW(Bn) (Theorem 2.20) ---
 
+// mustPlanB unwraps BestPlan for the statically valid benchmark sizes.
+func mustPlanB(b *testing.B, n int) *construct.Plan {
+	b.Helper()
+	p, err := construct.BestPlan(n)
+	if err != nil {
+		b.Fatalf("BestPlan(%d): %v", n, err)
+	}
+	return p
+}
+
 func BenchmarkBisectionBnExact(b *testing.B) {
 	bt := topology.NewButterfly(4)
 	for i := 0; i < b.N; i++ {
@@ -52,7 +62,7 @@ func BenchmarkBisectionBnConstructed(b *testing.B) {
 	// butterfly, verified virtually.
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p := construct.BestPlan(1 << 15)
+		p := mustPlanB(b, 1<<15)
 		capacity, _ := p.EvaluateVirtual()
 		if capacity >= 1<<15 {
 			b.Fatalf("capacity %d did not beat folklore", capacity)
@@ -63,7 +73,10 @@ func BenchmarkBisectionBnConstructed(b *testing.B) {
 func BenchmarkSubFolkloreSweep(b *testing.B) {
 	dims := []int{6, 9, 12, 15, 18, 21, 24}
 	for i := 0; i < b.N; i++ {
-		plans := core.SubFolkloreSweep(dims)
+		plans, err := core.SubFolkloreSweep(dims)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if plans[len(plans)-1].Ratio >= 1 {
 			b.Fatalf("sweep did not go sub-folklore")
 		}
@@ -228,7 +241,7 @@ func BenchmarkRouting(b *testing.B) {
 // engine (the acceptance target is ≥5× with ~zero steady-state allocs).
 func BenchmarkRoutingSingleTrialMap(b *testing.B) {
 	bt := topology.NewButterfly(128)
-	ref := construct.BestPlan(128).Build(bt)
+	ref := mustPlanB(b, 128).Build(bt)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -241,7 +254,7 @@ func BenchmarkRoutingSingleTrialMap(b *testing.B) {
 
 func BenchmarkRoutingSingleTrialFlat(b *testing.B) {
 	bt := topology.NewButterfly(128)
-	ref := construct.BestPlan(128).Build(bt)
+	ref := mustPlanB(b, 128).Build(bt)
 	route.SimulateRandomDestinations(bt, ref, 0) // warm index cache + state pool
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -257,7 +270,7 @@ func BenchmarkRoutingSingleTrialFlat(b *testing.B) {
 // throughput of the worker-pool runner in routed packets per second.
 func benchRoutingMany(b *testing.B, n, trials int) {
 	bt := topology.NewButterfly(n)
-	ref := construct.BestPlan(n).Build(bt)
+	ref := mustPlanB(b, n).Build(bt)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var packets int64
@@ -379,7 +392,7 @@ func BenchmarkAblationGridJ2(b *testing.B) {
 // size where it merely re-finds the construction's value.
 func BenchmarkAblationHeuristicVsConstruction(b *testing.B) {
 	bt := topology.NewButterfly(64)
-	best := construct.BestPlan(64).Capacity
+	best := mustPlanB(b, 64).Capacity
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h := heuristic.Bisect(bt.Graph, heuristic.BisectOptions{Starts: 4, Seed: int64(i)})
@@ -498,14 +511,45 @@ func BenchmarkAblationExactParallel(b *testing.B) {
 }
 
 // BenchmarkAblationVirtualParallel measures the parallel virtual evaluator
-// against the serial one inside BenchmarkBisectionBnConstructed.
+// against the serial one inside BenchmarkBisectionBnConstructed. Since the
+// word-parallel kernel landed this routes through 64-column masks, not
+// per-column InA calls.
 func BenchmarkAblationVirtualParallel(b *testing.B) {
-	p := construct.BestPlan(1 << 15)
+	p := mustPlanB(b, 1<<15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		capacity, _ := p.EvaluateVirtualParallel(0)
 		if capacity >= 1<<15 {
 			b.Fatalf("capacity %d", capacity)
+		}
+	}
+}
+
+// BenchmarkVirtualWordSerial isolates the single-threaded word kernel on
+// the headline n=2^15 plan — the direct ablation against the scalar
+// BenchmarkBisectionBnConstructed loop.
+func BenchmarkVirtualWordSerial(b *testing.B) {
+	p := mustPlanB(b, 1<<15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capacity, _ := p.EvaluateVirtualWords()
+		if capacity >= 1<<15 {
+			b.Fatalf("capacity %d did not beat folklore", capacity)
+		}
+	}
+}
+
+// BenchmarkVirtualWordMillion evaluates the full 2^20-column butterfly
+// (21.9M virtual nodes) per iteration: the ROADMAP's million-node target.
+func BenchmarkVirtualWordMillion(b *testing.B) {
+	p := mustPlanB(b, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capacity, _ := p.EvaluateVirtualWords()
+		if capacity >= 1<<20 {
+			b.Fatalf("capacity %d did not beat folklore", capacity)
 		}
 	}
 }

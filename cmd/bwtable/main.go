@@ -48,8 +48,17 @@ func main() {
 		Trace:      out.Tracer(),
 	}
 
+	// The classic table, then the -max-log extension: constructed rows at
+	// 2^12–2^20, the large ones verified virtually by the word-parallel
+	// evaluator without ever materializing the graph.
+	sizes := []int{2, 4, 8, 16, 64, 256, 1024}
+	for _, lg := range []int{12, 15, 18, 20} {
+		if lg <= *maxLog {
+			sizes = append(sizes, 1<<lg)
+		}
+	}
 	var butterflies []core.BisectionReport
-	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+	for _, n := range sizes {
 		r, err := core.ButterflyBisection(n, budget)
 		if err != nil {
 			out.Finish(nil)
@@ -89,7 +98,12 @@ func main() {
 		out.Finish(m)
 		return
 	}
-	sweep := core.SubFolkloreSweep(dims)
+	sweep, err := core.SubFolkloreSweep(dims)
+	if err != nil {
+		out.Finish(nil)
+		fmt.Fprintf(os.Stderr, "bwtable: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Print(core.RenderSubFolkloreTable(sweep))
 
 	inputCheck := core.InputBisectionCheck(4)

@@ -43,7 +43,11 @@ func main() {
 		fmt.Println("log_n,j,a,b,capacity_over_n,folklore,theory_limit")
 		var plans []construct.Plan
 		for d := 6; d <= *maxLog; d++ {
-			p := construct.BestPlan(1 << d)
+			p, err := construct.BestPlan(1 << d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figdata: %v\n", err)
+				os.Exit(1)
+			}
 			plans = append(plans, *p)
 			fmt.Printf("%d,%d,%d,%d,%.6f,1.0,%.6f\n",
 				d, p.J, p.A, p.B, p.Ratio, construct.TheoreticalRatio)

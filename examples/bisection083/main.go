@@ -27,7 +27,10 @@ func main() {
 			j, plan.A, plan.B, plan.Groups, plan.GroupEdges, plan.Capacity, plan.Ratio)
 	}
 
-	plan := construct.BestPlan(n)
+	plan, err := construct.BestPlan(n)
+	if err != nil {
+		panic(err)
+	}
 	c := plan.Build(b)
 	fmt.Printf("\nbest plan: j=%d, measured capacity %d, |A|=%d, |Ā|=%d, bisection=%v\n",
 		plan.J, c.Capacity(), c.SizeS(), c.SizeSbar(), c.IsBisection())

@@ -45,7 +45,11 @@ func main() {
 	// 2. Butterfly routing under load: random destinations vs the
 	//    bisection bound of §1.2, one trial in detail first.
 	b := topology.NewButterfly(64)
-	ref := construct.BestPlan(64).Build(b)
+	plan, err := construct.BestPlan(64)
+	if err != nil {
+		panic(err)
+	}
+	ref := plan.Build(b)
 	res := route.SimulateRandomDestinations(b, ref, 11)
 	fmt.Printf("\nB64 random destinations: %d packets in %d steps\n", res.Packets, res.Steps)
 	fmt.Printf("  %d routes cross the bisection (capacity %d): time ≥ ⌈%d/%d⌉ = %d steps\n",

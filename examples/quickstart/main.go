@@ -27,10 +27,14 @@ func main() {
 	fmt.Printf("exact BW(B8) = %d — folklore holds at small n, as the o(n) term allows\n", bw)
 
 	// At large n the paper's construction drops below n. No graph is
-	// materialized: half a million nodes are evaluated virtually.
+	// materialized: half a million nodes are evaluated virtually, 64
+	// columns at a time by the word-parallel kernel.
 	n := 1 << 15
-	plan := construct.BestPlan(n)
-	capacity, sizeA := plan.EvaluateVirtual()
+	plan, err := construct.BestPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	capacity, sizeA := plan.EvaluateVirtualWords()
 	fmt.Printf("\nB%d: constructed bisection capacity %d < n = %d (ratio %.4f)\n",
 		n, capacity, n, plan.Ratio)
 	fmt.Printf("  exact balance: |A| = %d of %d nodes\n", sizeA, n*(plan.Dim+1))

@@ -23,7 +23,11 @@ func main() {
 			panic(err)
 		}
 		naive := layout.New(b, layout.Naive)
-		bw := construct.BestPlan(n).Capacity
+		plan, err := construct.BestPlan(n)
+		if err != nil {
+			panic(err)
+		}
+		bw := plan.Capacity
 		fmt.Printf("  %5d  %12d  %8.3f  %11d  %8d  %v\n",
 			n, packed.Area(), packed.AreaRatio(), naive.Area(), bw*bw,
 			packed.ThompsonConsistent(bw))

@@ -321,15 +321,30 @@ func (p *Plan) EvaluateVirtualParallel(workers int) (capacity, sizeA int) {
 const evalCheckStride = 2048
 
 // EvaluateVirtualParallelCtx is EvaluateVirtualParallel with cooperative
-// cancellation: workers poll ctx every evalCheckStride columns. On
-// cancellation the partial counts are meaningless, so it returns zeros
-// and a non-nil error wrapping ctx.Err().
+// cancellation: workers poll ctx every evalCheckStride columns (word
+// kernel: every block). On cancellation the partial counts are
+// meaningless, so it returns zeros and a non-nil error wrapping ctx.Err().
+//
+// Plans with at least one full word of columns run the word-parallel
+// kernel (see word.go): membership masks for 64 columns at a time,
+// popcount edge accounting, cache-resident blocks fanned over workers.
+// Smaller or degenerate plans keep the per-column scalar loop.
 func (p *Plan) EvaluateVirtualParallelCtx(ctx context.Context, workers int) (capacity, sizeA int, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if p.wordEligible() {
+		capacity, sizeA, err = p.evaluateWords(ctx, workers)
+		metricVirtualEvals.Inc()
+		if err != nil {
+			metricVirtualCancelled.Inc()
+			return 0, 0, err
+		}
+		metricVirtualColumns.Add(int64(p.N))
+		return capacity, sizeA, nil
 	}
 	n, d := p.N, p.Dim
 	if workers > n {
@@ -339,11 +354,10 @@ func (p *Plan) EvaluateVirtualParallelCtx(ctx context.Context, workers int) (cap
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
-		lo := n / workers * wk
-		hi := n / workers * (wk + 1)
-		if wk == workers-1 {
-			hi = n
-		}
+		// Balanced ranges: ⌈n/workers⌉ vs ⌊n/workers⌋ columns per worker,
+		// not n/workers with the whole remainder dumped on the last one.
+		lo := n * wk / workers
+		hi := n * (wk + 1) / workers
 		wg.Add(1)
 		go func(wk, lo, hi int) {
 			defer wg.Done()
@@ -411,8 +425,10 @@ func (p *Plan) VirtualBisectionCapacity(ctx context.Context, workers int) (int, 
 // BestPlan sweeps j over the valid powers of two and returns the cheapest
 // plan for an n-column butterfly. For small n it returns the folklore
 // column cut expressed as a plan (j = 2); the capacity drops below n once
-// log n is large enough for a finer class grid.
-func BestPlan(n int) *Plan {
+// log n is large enough for a finer class grid. When no class grid fits —
+// n below 4, not a power of two, or beyond the log n ≤ 48 plan range — it
+// returns an error instead of the panic this path used to take.
+func BestPlan(n int) (*Plan, error) {
 	var best *Plan
 	for j := 2; j*j <= n && j <= maxPlanJ; j *= 2 {
 		p, ok := PlanButterflyBisection(n, j)
@@ -424,9 +440,9 @@ func BestPlan(n int) *Plan {
 		}
 	}
 	if best == nil {
-		panic(fmt.Sprintf("construct: no valid plan for n=%d", n))
+		return nil, fmt.Errorf("construct: no valid bisection plan for n=%d (need a power of two with 4 ≤ n ≤ 2^48)", n)
 	}
-	return best
+	return best, nil
 }
 
 // TheoreticalRatio is the Theorem 2.20 limit 2(√2−1) ≈ 0.828 that the plan

@@ -66,7 +66,7 @@ func TestPlanMatchesMaterializedCut(t *testing.T) {
 func TestVirtualMatchesMaterialized(t *testing.T) {
 	for _, n := range []int{64, 256} {
 		b := topology.NewButterfly(n)
-		p := BestPlan(n)
+		p := mustBestPlan(t, n)
 		c := p.Build(b)
 		vcap, vsize := p.EvaluateVirtual()
 		if vcap != c.Capacity() {
@@ -102,7 +102,7 @@ func TestSubFolkloreBeatsN(t *testing.T) {
 		{1 << 25, 0.92},
 	}
 	for _, tc := range cases {
-		p := BestPlan(tc.n)
+		p := mustBestPlan(t, tc.n)
 		if p.Ratio >= tc.maxRatio {
 			t.Errorf("n=2^%d: best ratio %.4f, want < %.2f (plan j=%d a=%d b=%d)",
 				p.Dim, p.Ratio, tc.maxRatio, p.J, p.A, p.B)
@@ -117,7 +117,7 @@ func TestSubFolkloreBeatsN(t *testing.T) {
 func TestSubFolkloreVirtualBalanceLarge(t *testing.T) {
 	// Stream-verify an actual sub-n bisection on a large virtual butterfly.
 	n := 1 << 15
-	p := BestPlan(n)
+	p := mustBestPlan(t, n)
 	capacity, sizeA := p.EvaluateVirtual()
 	if capacity != p.Capacity {
 		t.Errorf("virtual capacity %d, predicted %d", capacity, p.Capacity)
@@ -136,7 +136,7 @@ func TestHeuristicCannotBeatConstruction(t *testing.T) {
 	// not find a bisection cheaper than the best plan (which here is the
 	// folklore n, since 64 columns are too few for the sub-n effect).
 	b := topology.NewButterfly(64)
-	p := BestPlan(64)
+	p := mustBestPlan(t, 64)
 	h := heuristic.Bisect(b.Graph, heuristic.BisectOptions{Starts: 12, Seed: 3})
 	if h.Capacity() < p.Capacity-8 {
 		t.Errorf("heuristic %d is far below construction %d: construction is not near-optimal",
@@ -148,7 +148,7 @@ func TestRatioMonotoneImprovement(t *testing.T) {
 	// As n grows the best achievable ratio must not get worse.
 	prev := 2.0
 	for d := 6; d <= 20; d += 2 {
-		p := BestPlan(1 << d)
+		p := mustBestPlan(t, 1<<d)
 		if p.Ratio > prev+1e-9 {
 			t.Errorf("ratio worsened at n=2^%d: %.4f after %.4f", d, p.Ratio, prev)
 		}

@@ -9,8 +9,12 @@ import (
 func ExampleBestPlan() {
 	// The Theorem 2.20 headline: an explicit bisection of B_{2^15} with
 	// capacity strictly below the folklore value n, verified virtually.
-	p := construct.BestPlan(1 << 15)
-	capacity, sizeA := p.EvaluateVirtual()
+	p, err := construct.BestPlan(1 << 15)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	capacity, sizeA := p.EvaluateVirtualWords()
 	fmt.Println("capacity:", capacity)
 	fmt.Println("folklore:", 1<<15)
 	fmt.Println("balanced:", sizeA == (1<<15)*(p.Dim+1)/2)

@@ -6,7 +6,7 @@ import (
 
 func TestEvaluateVirtualParallelMatchesSerial(t *testing.T) {
 	for _, n := range []int{64, 1024, 1 << 14} {
-		p := BestPlan(n)
+		p := mustBestPlan(t, n)
 		sc, ss := p.EvaluateVirtual()
 		for _, workers := range []int{1, 2, 3, 7, 16} {
 			pc, ps := p.EvaluateVirtualParallel(workers)
@@ -24,7 +24,7 @@ func TestEvaluateVirtualParallelMatchesSerial(t *testing.T) {
 }
 
 func TestEvaluateVirtualParallelMoreWorkersThanColumns(t *testing.T) {
-	p := BestPlan(16)
+	p := mustBestPlan(t, 16)
 	sc, ss := p.EvaluateVirtual()
 	pc, ps := p.EvaluateVirtualParallel(64)
 	if pc != sc || ps != ss {
@@ -41,7 +41,7 @@ func TestLargeScaleVirtualParallel(t *testing.T) {
 		t.Skip("large-scale virtual evaluation")
 	}
 	n := 1 << 20
-	p := BestPlan(n)
+	p := mustBestPlan(t, n)
 	capacity, sizeA := p.EvaluateVirtualParallel(0)
 	if capacity != p.Capacity {
 		t.Errorf("measured %d, predicted %d", capacity, p.Capacity)

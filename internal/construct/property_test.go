@@ -77,7 +77,7 @@ func TestColumnBisectionInvariantUnderXor(t *testing.T) {
 // plan.
 func TestAnnealCannotBeatConstruction(t *testing.T) {
 	b := topology.NewButterfly(64)
-	best := BestPlan(64).Capacity
+	best := mustBestPlan(t, 64).Capacity
 	a := heuristic.Anneal(b.Graph, heuristic.AnnealOptions{Seed: 7, Sweeps: 24})
 	if a.Capacity() < best-8 {
 		t.Errorf("annealing %d far below construction %d", a.Capacity(), best)

@@ -8,7 +8,7 @@ import (
 )
 
 func TestEvaluateVirtualParallelCtxMatchesSerial(t *testing.T) {
-	p := BestPlan(1 << 10)
+	p := mustBestPlan(t, 1<<10)
 	wantCap, wantA := p.EvaluateVirtual()
 	for _, workers := range []int{1, 3, 0} {
 		gotCap, gotA, err := p.EvaluateVirtualParallelCtx(context.Background(), workers)
@@ -24,7 +24,7 @@ func TestEvaluateVirtualParallelCtxMatchesSerial(t *testing.T) {
 func TestEvaluateVirtualParallelCtxCancelled(t *testing.T) {
 	// A 2^20-column plan streams ~44M InA pairs; a pre-cancelled context
 	// must abort it promptly with an error wrapping the cause.
-	p := BestPlan(1 << 20)
+	p := mustBestPlan(t, 1<<20)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
@@ -41,7 +41,7 @@ func TestEvaluateVirtualParallelCtxCancelled(t *testing.T) {
 }
 
 func TestVirtualBisectionCapacityBalanced(t *testing.T) {
-	p := BestPlan(1 << 12)
+	p := mustBestPlan(t, 1<<12)
 	capacity, err := p.VirtualBisectionCapacity(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("balanced plan rejected: %v", err)
@@ -55,7 +55,7 @@ func TestVirtualBisectionCapacityUnbalancedPlanErrors(t *testing.T) {
 	// Regression for the old panic("core: virtual plan is not balanced"):
 	// corrupt one component quota so |A| misses N/2 by one node, and
 	// check the error names n, |A|, and N/2 instead of panicking.
-	p := BestPlan(1 << 12)
+	p := mustBestPlan(t, 1<<12)
 	corrupted := false
 	for i := range p.quotas {
 		if p.quotas[i].KA > 0 {

@@ -144,7 +144,11 @@ func ButterflyBisection(n int, budget BisectionBudget) (BisectionReport, error) 
 	if nodes <= budget.MaterializeNodes {
 		b := topology.NewButterfly(n)
 		if n >= 4 {
-			rep.Constructed = construct.BestPlan(n).Build(b).Capacity()
+			plan, err := construct.BestPlan(n)
+			if err != nil {
+				return rep, fmt.Errorf("core: B%d bisection report: %w", n, err)
+			}
+			rep.Constructed = plan.Build(b).Capacity()
 		} else {
 			// B2 is too small for the class-grid plan; the folklore column
 			// cut is the construction.
@@ -164,7 +168,10 @@ func ButterflyBisection(n int, budget BisectionBudget) (BisectionReport, error) 
 			rep.LowerBound = e.BisectionLowerBound(embed.DoubledCompleteBisectionWidth(nodes))
 		}
 	} else {
-		plan := construct.BestPlan(n)
+		plan, err := construct.BestPlan(n)
+		if err != nil {
+			return rep, fmt.Errorf("core: B%d bisection report: %w", n, err)
+		}
 		ctx := budget.Ctx
 		if ctx == nil {
 			ctx = context.Background()
@@ -282,12 +289,16 @@ func fmtExplored(value int, explored int64) interface{} {
 // SubFolkloreSweep returns the best sub-n plan per size — the series behind
 // the headline Theorem 2.20 plot: constructed-capacity/n falling from the
 // folklore 1.0 toward 2(√2−1) ≈ 0.828.
-func SubFolkloreSweep(dims []int) []construct.Plan {
+func SubFolkloreSweep(dims []int) ([]construct.Plan, error) {
 	plans := make([]construct.Plan, 0, len(dims))
 	for _, d := range dims {
-		plans = append(plans, *construct.BestPlan(1 << d))
+		p, err := construct.BestPlan(1 << d)
+		if err != nil {
+			return nil, fmt.Errorf("core: sub-folklore sweep at log n=%d: %w", d, err)
+		}
+		plans = append(plans, *p)
 	}
-	return plans
+	return plans, nil
 }
 
 // RenderSubFolkloreTable renders the sweep.

@@ -92,7 +92,10 @@ func TestRenderBisectionTable(t *testing.T) {
 }
 
 func TestSubFolkloreSweep(t *testing.T) {
-	plans := SubFolkloreSweep([]int{6, 12, 15})
+	plans, err := SubFolkloreSweep([]int{6, 12, 15})
+	if err != nil {
+		t.Fatalf("SubFolkloreSweep: %v", err)
+	}
 	if len(plans) != 3 {
 		t.Fatalf("got %d plans", len(plans))
 	}

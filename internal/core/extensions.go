@@ -219,7 +219,11 @@ func LayoutExperiment(n int) (LayoutRow, error) {
 	if err := packed.Validate(); err != nil {
 		return LayoutRow{}, fmt.Errorf("core: packed layout of B%d failed validation: %w", n, err)
 	}
-	bw := construct.BestPlan(n).Capacity
+	plan, err := construct.BestPlan(n)
+	if err != nil {
+		return LayoutRow{}, fmt.Errorf("core: layout experiment on B%d: %w", n, err)
+	}
+	bw := plan.Capacity
 	return LayoutRow{
 		N:           n,
 		PackedArea:  packed.Area(),

@@ -30,6 +30,11 @@ type ReportOptions struct {
 	// Trace, when non-nil, receives span events from every solver the
 	// report runs.
 	Trace *obs.Tracer
+	// MaxConstructedLog, when ≥ 12, extends the E2 Bn table with extra
+	// constructed-bisection rows at log n ∈ {12, 15, 18, 20} up to the
+	// bound. The large sizes are evaluated virtually by the word-parallel
+	// kernel; below 12 (the default) the classic table is unchanged.
+	MaxConstructedLog int
 }
 
 // BenesCheck is one E9 row: how many permutations (identity, reversal and
@@ -114,12 +119,28 @@ func BuildFullReport(opts ReportOptions) (*FullReport, error) {
 		}
 		rep.Bn = append(rep.Bn, r)
 	}
+	// The Thompson floor quotes B1024, the last classic row — read it
+	// before the -max-log extension appends larger sizes.
+	rep.ThompsonFloorB1024 = LayoutAreaLowerBound(rep.Bn[len(rep.Bn)-1].Constructed)
+	for _, lg := range []int{12, 15, 18, 20} {
+		if lg > opts.MaxConstructedLog {
+			break
+		}
+		r, err := ButterflyBisection(1<<lg, budget)
+		if err != nil {
+			return nil, err
+		}
+		rep.Bn = append(rep.Bn, r)
+	}
 	var dims []int
 	for d := 6; d <= 30; d += 3 {
 		dims = append(dims, d)
 	}
-	rep.SubFolklore = SubFolkloreSweep(dims)
-	rep.ThompsonFloorB1024 = LayoutAreaLowerBound(rep.Bn[len(rep.Bn)-1].Constructed)
+	sf, err := SubFolkloreSweep(dims)
+	if err != nil {
+		return nil, err
+	}
+	rep.SubFolklore = sf
 
 	rep.MOS = MOSConvergence([]int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 

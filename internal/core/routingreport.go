@@ -65,8 +65,12 @@ func PermutationRoutingExperiment(n int, seed int64, opt RoutingOptions) Routing
 
 func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptions) RoutingReport {
 	b := topology.NewButterfly(n)
-	plan := construct.BestPlan(n)
-	ref := plan.Build(b)
+	// The class-grid plan needs n ≥ 4; for B2 (or any size the planner
+	// rejects) the folklore column cut is the reference bisection.
+	ref := construct.ColumnBisection(b)
+	if plan, err := construct.BestPlan(n); err == nil {
+		ref = plan.Build(b)
+	}
 	stats := route.SimulateMany(b, ref, kind, route.ManyOptions{
 		Trials:  opt.Trials,
 		Workers: opt.Workers,

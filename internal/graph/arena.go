@@ -1,0 +1,89 @@
+// Arena-backed CSR construction: when a graph's edge count is known
+// analytically (a butterfly has exactly 2n·log n edges), the whole
+// representation — edge list, adjacency starts, neighbor and edge-index
+// slots — can be carved out of two exactly-sized allocations and filled in
+// two streaming passes, with no intermediate edge lists, no append growth,
+// and no per-node fill array.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// metricArenaBytes accumulates the bytes handed out by arena CSR builds,
+// keeping the million-node construct path observable.
+var metricArenaBytes = obs.NewCounter("graph.arena_bytes")
+
+// BuildStream constructs a Graph on n nodes and exactly m edges by running
+// gen, which must call emit(u, v) once per edge. Edges keep their emission
+// order (edge index = emission rank) and are normalized to U ≤ V like
+// Builder.AddEdge. Endpoint validation matches Builder: out-of-range
+// endpoints and self-loops panic, as does a generator that emits a number
+// of edges different from m — the counts are analytic, so a mismatch is a
+// construction bug, not an input error.
+//
+// The memory layout is two allocations regardless of size: the m-entry
+// edge list and one int32 arena holding adjStart (n+1) followed by adjNode
+// and adjEdge (2m each).
+func BuildStream(n, m int, gen func(emit func(u, v int))) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	if m < 0 {
+		panic("graph: negative edge count")
+	}
+	g := &Graph{n: n, edges: make([]Edge, m)}
+	arena := make([]int32, (n+1)+4*m)
+	g.adjStart = arena[: n+1 : n+1]
+	g.adjNode = arena[n+1 : n+1+2*m : n+1+2*m]
+	g.adjEdge = arena[n+1+2*m:]
+	metricArenaBytes.Add(int64(len(arena))*4 + int64(m)*8)
+
+	// Pass 1: stream the edges into place and count degrees into
+	// adjStart[v+1], so the prefix sum below turns it into CSR offsets.
+	count := 0
+	gen(func(u, v int) {
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: edge endpoint out of range: {%d,%d} with n=%d", u, v, n))
+		}
+		if u == v {
+			panic("graph: self-loops are not supported")
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if count >= m {
+			count++
+			return // counted and reported below; don't write out of bounds
+		}
+		g.edges[count] = Edge{int32(u), int32(v)}
+		count++
+		g.adjStart[u+1]++
+		g.adjStart[v+1]++
+	})
+	if count != m {
+		panic(fmt.Sprintf("graph: BuildStream generator emitted %d edges, want %d", count, m))
+	}
+	for i := 0; i < n; i++ {
+		g.adjStart[i+1] += g.adjStart[i]
+	}
+
+	// Pass 2: place adjacency slots using adjStart itself as the write
+	// cursor — after the pass adjStart[v] holds the END of v's slots (the
+	// value adjStart[v+1] should hold), so one overlapping copy un-shifts
+	// it. No per-node fill array.
+	for ei := range g.edges {
+		e := g.edges[ei]
+		pu := g.adjStart[e.U]
+		g.adjNode[pu], g.adjEdge[pu] = e.V, int32(ei)
+		g.adjStart[e.U]++
+		pv := g.adjStart[e.V]
+		g.adjNode[pv], g.adjEdge[pv] = e.U, int32(ei)
+		g.adjStart[e.V]++
+	}
+	copy(g.adjStart[1:], g.adjStart[:n])
+	g.adjStart[0] = 0
+	return g
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBuildStreamMatchesBuilder: the arena-backed streaming build must be
+// observationally identical to the Builder path — same edge list, same
+// adjacency order, same edge indices — on random multigraphs.
+func TestBuildStreamMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(4 * n)
+		type pair struct{ u, v int }
+		edges := make([]pair, m)
+		for i := range edges {
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++ // uniform v ≠ u; parallel edges stay possible
+			}
+			edges[i] = pair{u, v}
+		}
+
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e.u, e.v)
+		}
+		want := b.Build()
+		got := BuildStream(n, m, func(emit func(u, v int)) {
+			for _, e := range edges {
+				emit(e.u, e.v)
+			}
+		})
+
+		if !reflect.DeepEqual(want.edges, got.edges) {
+			t.Fatalf("trial %d: edge lists differ", trial)
+		}
+		if !reflect.DeepEqual(want.adjStart, got.adjStart) {
+			t.Fatalf("trial %d: adjStart differs: %v vs %v", trial, want.adjStart, got.adjStart)
+		}
+		if !reflect.DeepEqual(want.adjNode, got.adjNode) {
+			t.Fatalf("trial %d: adjNode differs: %v vs %v", trial, want.adjNode, got.adjNode)
+		}
+		if !reflect.DeepEqual(want.adjEdge, got.adjEdge) {
+			t.Fatalf("trial %d: adjEdge differs: %v vs %v", trial, want.adjEdge, got.adjEdge)
+		}
+	}
+}
+
+// TestBuildStreamEmpty covers the degenerate sizes the arena arithmetic
+// must not mangle.
+func TestBuildStreamEmpty(t *testing.T) {
+	g := BuildStream(0, 0, func(emit func(u, v int)) {})
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	g = BuildStream(5, 0, func(emit func(u, v int)) {})
+	if g.N() != 5 || g.M() != 0 || g.Degree(4) != 0 {
+		t.Fatalf("edgeless graph: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestBuildStreamValidation: the analytic edge count and the Builder's
+// endpoint rules are enforced, not assumed.
+func TestBuildStreamValidation(t *testing.T) {
+	mustPanic(t, "under-emission", func() {
+		BuildStream(4, 3, func(emit func(u, v int)) { emit(0, 1) })
+	})
+	mustPanic(t, "over-emission", func() {
+		BuildStream(4, 1, func(emit func(u, v int)) { emit(0, 1); emit(1, 2); emit(2, 3) })
+	})
+	mustPanic(t, "self-loop", func() {
+		BuildStream(4, 1, func(emit func(u, v int)) { emit(2, 2) })
+	})
+	mustPanic(t, "out-of-range", func() {
+		BuildStream(4, 1, func(emit func(u, v int)) { emit(0, 4) })
+	})
+	mustPanic(t, "negative-m", func() {
+		BuildStream(4, -1, func(emit func(u, v int)) {})
+	})
+}
+
+// BenchmarkBuildStreamVsBuilder pins the reason the arena path exists: the
+// builder's append-and-fill construction against the two-allocation stream
+// on a butterfly-sized edge set.
+func benchEdges(n int) (int, func(emit func(u, v int))) {
+	// A butterfly-shaped generator: 2n edges per "level" over 4 levels.
+	m := 8 * n
+	return m, func(emit func(u, v int)) {
+		for l := 0; l < 4; l++ {
+			for w := 0; w < n; w++ {
+				u := l*n + w
+				emit(u, (l+1)*n+w)
+				emit(u, (l+1)*n+(w^(1<<uint(l))))
+			}
+		}
+	}
+}
+
+func BenchmarkBuilderButterflyShaped(b *testing.B) {
+	n := 1 << 12
+	m, gen := benchEdges(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(5 * n)
+		gen(bl.AddEdge)
+		if g := bl.Build(); g.M() != m {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkBuildStreamButterflyShaped(b *testing.B) {
+	n := 1 << 12
+	m, gen := benchEdges(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g := BuildStream(5*n, m, gen); g.M() != m {
+			b.Fatal("bad build")
+		}
+	}
+}

@@ -72,7 +72,11 @@ func TestThompsonConsistency(t *testing.T) {
 	for _, n := range []int{16, 64, 256, 1024} {
 		b := topology.NewButterfly(n)
 		l := New(b, Packed)
-		bw := construct.BestPlan(n).Capacity
+		plan, err := construct.BestPlan(n)
+		if err != nil {
+			t.Fatalf("BestPlan(%d): %v", n, err)
+		}
+		bw := plan.Capacity
 		if !l.ThompsonConsistent(bw) {
 			t.Errorf("B%d: area %d below BW² = %d — impossible", n, l.Area(), bw*bw)
 		}

@@ -11,9 +11,18 @@ import (
 	"repro/internal/topology"
 )
 
+func mustPlan(tb testing.TB, n int) *construct.Plan {
+	tb.Helper()
+	p, err := construct.BestPlan(n)
+	if err != nil {
+		tb.Fatalf("BestPlan(%d): %v", n, err)
+	}
+	return p
+}
+
 func TestSimulateManyDeadlineZero(t *testing.T) {
 	b := topology.NewButterfly(128)
-	ref := construct.BestPlan(128).Build(b)
+	ref := mustPlan(t, 128).Build(b)
 	ctx, cancel := context.WithTimeout(context.Background(), 0)
 	defer cancel()
 	start := time.Now()
@@ -39,7 +48,7 @@ func TestSimulateManyDeadlineZero(t *testing.T) {
 
 func TestSimulateManyCancelledAggregatesCompletedOnly(t *testing.T) {
 	b := topology.NewButterfly(512)
-	ref := construct.BestPlan(512).Build(b)
+	ref := mustPlan(t, 512).Build(b)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)
@@ -75,7 +84,7 @@ func TestSimulateManyUncancelledUnaffected(t *testing.T) {
 	// With a live (never-cancelled) context the aggregate must be
 	// byte-identical to the context-free run at any worker count.
 	b := topology.NewButterfly(16)
-	ref := construct.BestPlan(16).Build(b)
+	ref := mustPlan(t, 16).Build(b)
 	want := SimulateMany(b, ref, RandomDestinations, ManyOptions{Trials: 8, Seed: 11, Workers: 1})
 	if want.Cancelled || want.Trials != want.Requested {
 		t.Fatalf("uncancelled run flagged: %+v", want)
@@ -94,7 +103,7 @@ func TestSimulateManyUncancelledUnaffected(t *testing.T) {
 
 func TestSimulateManyProgressReportsTrials(t *testing.T) {
 	b := topology.NewButterfly(64)
-	ref := construct.BestPlan(64).Build(b)
+	ref := mustPlan(t, 64).Build(b)
 	var last atomic.Int64
 	stats := SimulateMany(b, ref, RandomDestinations, ManyOptions{
 		Trials: 200, Seed: 1,

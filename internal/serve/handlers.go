@@ -165,7 +165,10 @@ func parseBisectionRequest(q queryValues) (queryRequest, error) {
 	}
 	switch r.network {
 	case "bn":
-		err = powerOfTwoInRange("n", r.n, 2, 1<<20)
+		// Large sizes stay cheap: beyond the materialization budget the
+		// constructed row is verified by the word-parallel virtual
+		// evaluator, so million-column butterflies are servable.
+		err = powerOfTwoInRange("n", r.n, 2, 1<<22)
 	case "wn":
 		err = powerOfTwoInRange("n", r.n, 4, 1<<14)
 	case "ccc":

@@ -36,15 +36,18 @@ func NewButterfly(n int) *Butterfly {
 	}
 	dim := bitutil.Log2(n)
 	b := &Butterfly{n: n, dim: dim, wrap: false}
-	builder := graph.NewBuilder(n * (dim + 1))
-	for i := 0; i < dim; i++ {
-		for w := 0; w < n; w++ {
-			u := b.Node(w, i)
-			builder.AddEdge(u, b.Node(w, i+1))                            // straight edge
-			builder.AddEdge(u, b.Node(bitutil.FlipBit(w, dim, i+1), i+1)) // cross edge flips bit i+1
+	// Bn has exactly 2n·log n edges, so the CSR is built arena-backed from
+	// a streaming generator — no intermediate edge list, two allocations
+	// total even at millions of nodes.
+	b.Graph = graph.BuildStream(n*(dim+1), 2*n*dim, func(emit func(u, v int)) {
+		for i := 0; i < dim; i++ {
+			for w := 0; w < n; w++ {
+				u := b.Node(w, i)
+				emit(u, b.Node(w, i+1))                            // straight edge
+				emit(u, b.Node(bitutil.FlipBit(w, dim, i+1), i+1)) // cross edge flips bit i+1
+			}
 		}
-	}
-	b.Graph = builder.Build()
+	})
 	return b
 }
 
@@ -58,16 +61,16 @@ func NewWrappedButterfly(n int) *Butterfly {
 	}
 	dim := bitutil.Log2(n)
 	b := &Butterfly{n: n, dim: dim, wrap: true}
-	builder := graph.NewBuilder(n * dim)
-	for i := 0; i < dim; i++ {
-		next := (i + 1) % dim
-		for w := 0; w < n; w++ {
-			u := b.Node(w, i)
-			builder.AddEdge(u, b.Node(w, next))
-			builder.AddEdge(u, b.Node(bitutil.FlipBit(w, dim, i+1), next))
+	b.Graph = graph.BuildStream(n*dim, 2*n*dim, func(emit func(u, v int)) {
+		for i := 0; i < dim; i++ {
+			next := (i + 1) % dim
+			for w := 0; w < n; w++ {
+				u := b.Node(w, i)
+				emit(u, b.Node(w, next))
+				emit(u, b.Node(bitutil.FlipBit(w, dim, i+1), next))
+			}
 		}
-	}
-	b.Graph = builder.Build()
+	})
 	return b
 }
 

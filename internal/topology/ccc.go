@@ -26,18 +26,19 @@ func NewCCC(n int) *CCC {
 	}
 	dim := bitutil.Log2(n)
 	c := &CCC{n: n, dim: dim}
-	b := graph.NewBuilder(n * dim)
-	for w := 0; w < n; w++ {
-		for i := 1; i <= dim; i++ {
-			// Cycle edge from position i to position i mod dim + 1.
-			b.AddEdge(c.Node(w, i), c.Node(w, i%dim+1))
-			// Cube edge in dimension i, added once per pair.
-			if bitutil.Bit(w, dim, i) == 0 {
-				b.AddEdge(c.Node(w, i), c.Node(bitutil.FlipBit(w, dim, i), i))
+	// n·log n cycle edges plus n·log n / 2 cube edges, known up front.
+	c.Graph = graph.BuildStream(n*dim, 3*n*dim/2, func(emit func(u, v int)) {
+		for w := 0; w < n; w++ {
+			for i := 1; i <= dim; i++ {
+				// Cycle edge from position i to position i mod dim + 1.
+				emit(c.Node(w, i), c.Node(w, i%dim+1))
+				// Cube edge in dimension i, added once per pair.
+				if bitutil.Bit(w, dim, i) == 0 {
+					emit(c.Node(w, i), c.Node(bitutil.FlipBit(w, dim, i), i))
+				}
 			}
 		}
-	}
-	c.Graph = b.Build()
+	})
 	return c
 }
 
