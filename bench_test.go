@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/bandwidth"
@@ -21,6 +23,8 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mos"
 	"repro/internal/route"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/variants"
 )
@@ -551,6 +555,58 @@ func BenchmarkVirtualWordMillion(b *testing.B) {
 		if capacity >= 1<<20 {
 			b.Fatalf("capacity %d did not beat folklore", capacity)
 		}
+	}
+}
+
+// --- Serving: cold start vs persistent-store warm start ---
+
+// benchServeQuery drives one request through a server's handler and
+// checks the X-Cache source.
+func benchServeQuery(b *testing.B, s *serve.Server, path, wantSource string) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s: status %d: %s", path, rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != wantSource {
+		b.Fatalf("GET %s: X-Cache %q, want %q", path, got, wantSource)
+	}
+}
+
+// benchServePath is the restart-to-first-response workload both serving
+// benchmarks measure: a 2^15-column butterfly bisection row (524k virtual
+// nodes), the headline constructed-series size.
+const benchServePath = "/v1/bisection?network=bn&n=32768"
+
+// BenchmarkServeColdStart: every iteration is a fresh daemon answering
+// its first query — the full solve (plan construction + virtual
+// evaluation + rendering), nothing cached anywhere.
+func BenchmarkServeColdStart(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchServeQuery(b, serve.New(serve.Config{}), benchServePath, "miss")
+	}
+}
+
+// BenchmarkServeWarmStart: every iteration is a fresh daemon over a
+// filled persistent store answering the same first query from disk — the
+// -store warm start. The acceptance target is ≥100× under ColdStart.
+func BenchmarkServeWarmStart(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	seeder := serve.New(serve.Config{Store: st})
+	benchServeQuery(b, seeder, benchServePath, "miss")
+	if n, err := seeder.FlushStore(); err != nil || n != 1 {
+		b.Fatalf("flush: n=%d err=%v", n, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServeQuery(b, serve.New(serve.Config{Store: st}), benchServePath, "store-hit")
 	}
 }
 

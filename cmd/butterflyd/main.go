@@ -23,11 +23,27 @@
 // (complete=false in the response's serve table), and the process exits
 // once every response is written or -drain expires.
 //
+// With -store DIR the daemon keeps a persistent result store under DIR:
+// LRU evictions spill to it, cache misses fall back to it (X-Cache:
+// store-hit), and the drain flushes the surviving cache into it — so a
+// restarted daemon answers everything the previous process ever solved
+// from disk, no solver invoked. The store directory also holds the
+// routing engine's compiled-index snapshot (routeindex.bfc), written at
+// drain and reloaded at startup.
+//
+// With -precompute GRID the daemon runs as a batch filler instead of a
+// server: it solves every missing point of the declared grid into the
+// store and exits. GRID is a comma-separated list of
+// network:loglo-loghi[:exact-nodes] ranges over log2(n), e.g.
+// "bn:3-12,wn:2-8,ccc:3-8".
+//
 // Usage:
 //
 //	butterflyd [-addr localhost:8080] [-inflight 0] [-queue 0]
 //	           [-queue-wait 2s] [-default-timeout 10s] [-max-timeout 60s]
-//	           [-cache 256] [-drain 30s] [-trace path] [-pprof addr]
+//	           [-cache 256] [-cache-bytes 67108864] [-drain 30s]
+//	           [-store dir] [-precompute grid] [-precompute-workers 0]
+//	           [-trace path] [-pprof addr]
 package main
 
 import (
@@ -42,9 +58,13 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/route"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -55,7 +75,11 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "solve budget when the request names none")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested solve budgets")
 	cacheEntries := flag.Int("cache", 256, "result-cache entries (LRU)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (evicts past either bound)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	storeDir := flag.String("store", "", "persistent result store directory (spill, warm start, precompute)")
+	precompute := flag.String("precompute", "", "batch-fill the store for this grid (network:loglo-loghi[:exact-nodes],...) and exit")
+	precomputeWorkers := flag.Int("precompute-workers", 0, "parallel solves during -precompute (0 = GOMAXPROCS)")
 	tracePath := flag.String("trace", "", "write request and solver trace events (JSONL) to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + /debug/metrics on this extra address")
 	flag.Parse()
@@ -64,7 +88,12 @@ func main() {
 		cli.NonNegative("inflight", *inflight),
 		cli.NonNegative("queue", *queue),
 		cli.Positive("cache", *cacheEntries),
+		cli.NonNegative("precompute-workers", *precomputeWorkers),
 	)
+	if *precompute != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "butterflyd: -precompute requires -store")
+		os.Exit(2)
+	}
 
 	var tracer *obs.Tracer
 	var traceFile *os.File
@@ -80,6 +109,28 @@ func main() {
 
 	cli.StartPprof(*pprofAddr)
 
+	// The persistent store and the routing engine's compiled-index
+	// snapshot live side by side under -store: both are warm-start state.
+	var st *store.Store
+	var routeSnapshot string
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Trace: tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "butterflyd: store %s holds %d results\n", *storeDir, st.Len())
+		routeSnapshot = filepath.Join(*storeDir, "routeindex.bfc")
+		// A stale or damaged snapshot is only a lost warm start, never
+		// fatal: the engine rebuilds indices lazily.
+		if n, err := route.LoadIndexCache(routeSnapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: route index snapshot ignored: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "butterflyd: loaded %d compiled route indices\n", n)
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInflight:     *inflight,
 		MaxQueue:        *queue,
@@ -87,8 +138,15 @@ func main() {
 		DefaultDeadline: *defaultTimeout,
 		MaxDeadline:     *maxTimeout,
 		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		Store:           st,
 		Trace:           tracer,
 	})
+
+	if *precompute != "" {
+		runPrecompute(srv, st, *precompute, *precomputeWorkers, traceFile, tracer)
+		return
+	}
 
 	// Bind synchronously so an occupied port is an immediate exit-1, not
 	// a daemon that looks alive and serves nothing.
@@ -124,6 +182,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "butterflyd: serve: %v\n", err)
 		os.Exit(1)
 	}
+	if st != nil {
+		// Shutdown already flushed the drained cache into the store; what
+		// remains is snapshotting the compiled route indices and closing.
+		if n, err := route.SaveIndexCache(routeSnapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: route index snapshot: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "butterflyd: snapshotted %d compiled route indices\n", n)
+		}
+		n := st.Len()
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "butterflyd: store flushed, %d results on disk\n", n)
+	}
 	if traceFile != nil {
 		if err := tracer.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", err)
@@ -133,4 +206,42 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "butterflyd: drained cleanly")
+}
+
+// runPrecompute is the -precompute batch mode: solve every missing grid
+// point into the store at the requested parallelism, report, exit. A
+// SIGINT/SIGTERM stops feeding new points and lets in-flight solves
+// finish.
+func runPrecompute(srv *serve.Server, st *store.Store, spec string, workers int, traceFile *os.File, tracer *obs.Tracer) {
+	grid, err := serve.ParseGrid(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "butterflyd: precomputing %d grid points\n", len(grid))
+	res, err := srv.Precompute(ctx, grid, workers, func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "butterflyd: "+format+"\n", args...)
+	})
+	fmt.Fprintf(os.Stderr, "butterflyd: precompute done in %s: %d solved, %d skipped, %d failed; store holds %d results\n",
+		time.Since(start).Round(time.Millisecond), res.Solved, res.Skipped, res.Failed, st.Len())
+	if cerr := st.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: store: %v\n", cerr)
+		os.Exit(1)
+	}
+	if traceFile != nil {
+		if terr := tracer.Err(); terr != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", terr)
+		}
+		if terr := traceFile.Close(); terr != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", terr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: %v\n", err)
+		os.Exit(1)
+	}
 }

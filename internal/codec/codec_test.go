@@ -1,0 +1,267 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encodeStream frames records into a fresh stream and returns the bytes.
+func encodeStream(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	off := int64(HeaderSize)
+	for _, r := range recs {
+		n, err := w.Write(r)
+		if err != nil {
+			t.Fatalf("Write(%q): %v", r.Key, err)
+		}
+		if n != FrameSize(r) {
+			t.Fatalf("Write(%q) = %d bytes, FrameSize says %d", r.Key, n, FrameSize(r))
+		}
+		off += n
+	}
+	if int64(buf.Len()) != off {
+		t.Fatalf("stream is %d bytes, frame accounting says %d", buf.Len(), off)
+	}
+	return buf.Bytes()
+}
+
+var testRecords = []Record{
+	{Kind: KindManifest, Key: "bisection?network=bn&n=8&exact-nodes=32", Payload: []byte(`{"schema":"repro/run-manifest"}`)},
+	{Kind: KindRouteIndex, Key: "n=8&wrap=false", Payload: bytes.Repeat([]byte{0xAB, 0, 0x7F}, 100)},
+	{Kind: KindWitness, Key: "", Payload: nil}, // empty key and payload are legal
+	{Kind: KindManifest, Key: "k", Payload: []byte{0x00}},
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := encodeStream(t, testRecords...)
+	d, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	offsets := []int64{d.Offset()}
+	for i, want := range testRecords {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("Next[%d]: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Key != want.Key || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+		offsets = append(offsets, d.Offset())
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+
+	// Random access: every record is independently readable (and CRC
+	// verified) at the offset sequential decoding reported.
+	ra := bytes.NewReader(data)
+	for i, want := range testRecords {
+		got, err := ReadRecordAt(ra, offsets[i])
+		if err != nil {
+			t.Fatalf("ReadRecordAt(%d): %v", offsets[i], err)
+		}
+		if got.Key != want.Key || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("ReadRecordAt record %d mismatch", i)
+		}
+	}
+}
+
+// TestTruncationAtEveryBoundary chops a valid stream at every byte length
+// and asserts the decoder returns a clean error (or decodes the intact
+// prefix records and then errs) — never a panic, never a phantom record.
+func TestTruncationAtEveryBoundary(t *testing.T) {
+	data := encodeStream(t, testRecords...)
+	// Record boundaries: decoding a prefix cut exactly at one is a valid
+	// shorter stream, so cuts there must yield io.EOF after the intact
+	// records, and cuts anywhere else must yield ErrTruncated.
+	boundary := map[int64]bool{}
+	d, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary[d.Offset()] = true
+	for {
+		if _, err := d.Next(); err != nil {
+			break
+		}
+		boundary[d.Offset()] = true
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		prefix := data[:cut]
+		d, err := NewReader(bytes.NewReader(prefix))
+		if cut < HeaderSize {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: header error = %v, want ErrTruncated", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: NewReader: %v", cut, err)
+		}
+		var last error
+		for {
+			if _, last = d.Next(); last != nil {
+				break
+			}
+		}
+		if boundary[int64(cut)] {
+			if last != io.EOF {
+				t.Fatalf("cut %d (record boundary): %v, want io.EOF", cut, last)
+			}
+		} else if !errors.Is(last, ErrTruncated) {
+			t.Fatalf("cut %d: %v, want ErrTruncated", cut, last)
+		}
+	}
+}
+
+// TestEveryByteFlipIsDetected flips each byte of a valid stream in turn
+// and asserts a full decode pass reports an error: magic and version
+// flips fail the header, length flips fail as truncation or size-limit
+// errors, and every content flip fails the CRC. No flip may yield a
+// clean, silently different decode.
+func TestEveryByteFlipIsDetected(t *testing.T) {
+	data := encodeStream(t, testRecords...)
+	decodeAll := func(b []byte) error {
+		d, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		n := 0
+		for {
+			rec, err := d.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			// Compare against the original records: a surviving decode
+			// must be byte-faithful (e.g. a flip inside a reserved header
+			// byte is undetectable but also harmless only if content
+			// matches).
+			if n >= len(testRecords) {
+				return errors.New("silent corruption: extra record decoded")
+			}
+			want := testRecords[n]
+			if rec.Kind != want.Kind || rec.Key != want.Key || !bytes.Equal(rec.Payload, want.Payload) {
+				return errors.New("silent corruption: decoded record differs")
+			}
+			n++
+		}
+	}
+
+	for i := range data {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			err := decodeAll(mut)
+			// The two reserved header bytes are the only positions where a
+			// flip may legitimately pass (they are not covered by any CRC
+			// and carry no meaning) — everywhere else must error, and the
+			// "silent corruption" probe above catches a content change
+			// that somehow validated.
+			if i == 6 || i == 7 {
+				continue
+			}
+			if err == nil {
+				t.Fatalf("flip 0x%02x at byte %d: decode passed silently", flip, i)
+			}
+			if strings.Contains(err.Error(), "silent corruption") {
+				t.Fatalf("flip 0x%02x at byte %d: %v", flip, i, err)
+			}
+		}
+	}
+}
+
+func TestBadMagicAndForeignFiles(t *testing.T) {
+	cases := map[string][]byte{
+		"json":    []byte(`{"schema": "repro/run-manifest", "version": 1}`),
+		"text":    []byte("hello, this is not a codec stream at all"),
+		"zeroes":  make([]byte, 64),
+		"garbage": {0xDE, 0xAD, 0xBE, 0xEF, 1, 0, 0, 0, 9, 9, 9},
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("%s: NewReader = %v, want ErrBadMagic", name, err)
+		}
+	}
+}
+
+func TestFutureVersionRejected(t *testing.T) {
+	data := encodeStream(t, testRecords[0])
+	for _, v := range []uint16{0, Version + 1, 0xFFFF} {
+		mut := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint16(mut[4:6], v)
+		if _, err := NewReader(bytes.NewReader(mut)); !errors.Is(err, ErrVersion) {
+			t.Errorf("version %d: NewReader = %v, want ErrVersion", v, err)
+		}
+	}
+}
+
+// TestOversizeLengthRejected corrupts a length prefix to an absurd value
+// and asserts the decoder refuses before allocating.
+func TestOversizeLengthRejected(t *testing.T) {
+	data := encodeStream(t, testRecords[0])
+	mut := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(mut[HeaderSize+5:], uint32(MaxRecordBytes)) // payload len; +key pushes past limit
+	d, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Next = %v, want ErrTooLarge", err)
+	}
+
+	if _, err := (&Writer{w: io.Discard}).Write(Record{Payload: make([]byte, 1)}); err != nil {
+		t.Fatalf("tiny write rejected: %v", err)
+	}
+}
+
+// TestWriterRejectsOversizeRecord: the writer enforces the same limit the
+// reader does, so a stream we write is always a stream we can read.
+func TestWriterRejectsOversizeRecord(t *testing.T) {
+	w := Resume(io.Discard)
+	big := Record{Key: strings.Repeat("k", 1<<10)}
+	big.Payload = make([]byte, MaxRecordBytes)
+	if _, err := w.Write(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Write = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestResumeAppends: records appended via Resume after reopening decode
+// seamlessly after the originals.
+func TestResumeAppends(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w := Resume(&buf)
+	for _, r := range testRecords {
+		if _, err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range testRecords {
+		if _, err := d.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("tail: %v", err)
+	}
+}

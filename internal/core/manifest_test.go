@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden manifest files under testdata/")
@@ -160,6 +162,89 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if _, err := obs.DecodeManifest(bytes.NewReader(tampered)); err == nil {
 		t.Fatal("DecodeManifest accepted a foreign version")
+	}
+}
+
+// TestManifestCodecStoreRoundTrip pushes every golden manifest through
+// the persistence stack — codec frame in memory, then store Put →
+// reopen → Get — and demands the bytes back untouched. This is the
+// contract butterflyd's warm start rests on: what the store returns is
+// exactly what the solver rendered, or an error.
+func TestManifestCodecStoreRoundTrip(t *testing.T) {
+	bodies := map[string][]byte{}
+	for name, m := range goldenManifests(t) {
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		bodies[name] = buf.Bytes()
+	}
+
+	// Codec layer alone: frame → decode is byte-faithful.
+	var framed bytes.Buffer
+	w, err := codec.NewWriter(&framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range bodies {
+		if _, err := w.Write(codec.Record{Kind: codec.KindManifest, Key: name, Payload: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := codec.NewReader(bytes.NewReader(framed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		if !bytes.Equal(rec.Payload, bodies[rec.Key]) {
+			t.Fatalf("codec round trip altered manifest %q", rec.Key)
+		}
+		seen++
+	}
+	if seen != len(bodies) {
+		t.Fatalf("decoded %d records, want %d", seen, len(bodies))
+	}
+
+	// Store layer: Put, reopen from disk, Get — still the same bytes, and
+	// still a decodable, schema-stamped manifest.
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range bodies {
+		if err := st.Put(name, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for name, body := range bodies {
+		got, ok, err := st.Get(name)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q): ok=%v err=%v", name, ok, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("store round trip altered manifest %q", name)
+		}
+		m, err := obs.DecodeManifest(bytes.NewReader(got))
+		if err != nil {
+			t.Fatalf("stored manifest %q no longer decodes: %v", name, err)
+		}
+		if m.Schema != obs.ManifestSchema || m.Version != obs.ManifestVersion {
+			t.Fatalf("stored manifest %q schema stamp = %q v%d", name, m.Schema, m.Version)
+		}
 	}
 }
 

@@ -1,0 +1,228 @@
+// Index persistence: the compiled directed-edge CSR indices are pure
+// functions of butterfly shape, so a daemon can snapshot its index cache
+// at drain and reload it at startup — the routing engine's warm start,
+// skipping the build (and its allocation burst) for every shape served
+// before the restart.
+package route
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+)
+
+// encodeDirIndex renders one compiled index as a KindRouteIndex payload:
+// little-endian u32 node count, u32 directed-edge count, then the start
+// and to arrays as i32s. Everything needed to rebuild the dirIndex, and
+// nothing that is not checkable on load.
+func encodeDirIndex(ix *dirIndex) []byte {
+	buf := make([]byte, 8+4*len(ix.start)+4*len(ix.to))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(ix.nodes))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(ix.to)))
+	off := 8
+	for _, v := range ix.start {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	for _, v := range ix.to {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	return buf
+}
+
+// decodeDirIndex parses and structurally validates a KindRouteIndex
+// payload. The CRC layer below already caught bit rot; this layer rejects
+// well-framed nonsense (wrong lengths, non-monotone offsets, targets out
+// of range) so a bad snapshot can never become an index that panics
+// mid-simulation.
+func decodeDirIndex(payload []byte) (*dirIndex, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("route: index payload too short (%d bytes)", len(payload))
+	}
+	nodes := int(binary.LittleEndian.Uint32(payload[0:4]))
+	numTo := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if nodes < 0 || numTo < 0 || nodes > 1<<28 || numTo > 4*nodes {
+		return nil, fmt.Errorf("route: implausible index shape (nodes=%d, edges=%d)", nodes, numTo)
+	}
+	want := 8 + 4*(nodes+1) + 4*numTo
+	if len(payload) != want {
+		return nil, fmt.Errorf("route: index payload is %d bytes, want %d for nodes=%d edges=%d",
+			len(payload), want, nodes, numTo)
+	}
+	ix := &dirIndex{
+		nodes: nodes,
+		start: make([]int32, nodes+1),
+		to:    make([]int32, numTo),
+	}
+	off := 8
+	for i := range ix.start {
+		ix.start[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	for i := range ix.to {
+		ix.to[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	if ix.start[0] != 0 || ix.start[nodes] != int32(numTo) {
+		return nil, fmt.Errorf("route: index offsets do not span the edge array")
+	}
+	for u := 0; u < nodes; u++ {
+		if ix.start[u] > ix.start[u+1] {
+			return nil, fmt.Errorf("route: index offsets not monotone at node %d", u)
+		}
+		for e := ix.start[u]; e < ix.start[u+1]; e++ {
+			if ix.to[e] < 0 || ix.to[e] >= int32(nodes) {
+				return nil, fmt.Errorf("route: edge %d targets node %d outside [0,%d)", e, ix.to[e], nodes)
+			}
+			if e > ix.start[u] && ix.to[e] <= ix.to[e-1] {
+				return nil, fmt.Errorf("route: out-edges of node %d not strictly sorted", u)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// indexRecordKey is the snapshot record key of one butterfly shape.
+func indexRecordKey(k indexKey) string {
+	return fmt.Sprintf("n=%d&wrap=%t", k.n, k.wrap)
+}
+
+// checkShape cross-checks a decoded index against its record key: a
+// butterfly on n inputs has n·(log2 n + 1) nodes, n·log2 n wrapped.
+func checkShape(k indexKey, ix *dirIndex) error {
+	if k.n < 2 || k.n&(k.n-1) != 0 {
+		return fmt.Errorf("route: snapshot key n=%d is not a power of two", k.n)
+	}
+	dim := bits.Len(uint(k.n)) - 1
+	wantNodes := k.n * (dim + 1)
+	if k.wrap {
+		wantNodes = k.n * dim
+	}
+	if ix.nodes != wantNodes {
+		return fmt.Errorf("route: snapshot for n=%d wrap=%t has %d nodes, want %d",
+			k.n, k.wrap, ix.nodes, wantNodes)
+	}
+	return nil
+}
+
+// SaveIndexCache snapshots every compiled index currently cached to path
+// as a codec stream of KindRouteIndex records (least recently used
+// first, so reloading preserves the eviction order). The file is built
+// beside path and renamed into place; a crash leaves the old snapshot.
+// It returns the number of indices written.
+func SaveIndexCache(path string) (int, error) {
+	indexCache.Lock()
+	keys := append([]indexKey(nil), indexCache.order...)
+	indices := make([]*dirIndex, len(keys))
+	for i, k := range keys {
+		indices[i] = indexCache.m[k]
+	}
+	indexCache.Unlock()
+
+	tmp := filepath.Join(filepath.Dir(path), ".routeindex.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("route: snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op once the rename lands
+	w, err := codec.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	for i, k := range keys {
+		rec := codec.Record{
+			Kind:    codec.KindRouteIndex,
+			Key:     indexRecordKey(k),
+			Payload: encodeDirIndex(indices[i]),
+		}
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("route: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("route: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("route: snapshot: %w", err)
+	}
+	return len(keys), nil
+}
+
+// LoadIndexCache seeds the index cache from a SaveIndexCache snapshot,
+// validating every record before it is trusted. Missing file is a clean
+// zero (first start); any decode or validation failure is an error — the
+// caller decides whether a stale snapshot is fatal (butterflyd warns and
+// rebuilds lazily). It returns the number of indices loaded.
+func LoadIndexCache(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("route: snapshot: %w", err)
+	}
+	defer f.Close()
+	d, err := codec.NewReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("route: snapshot %s: %w", path, err)
+	}
+	loaded := 0
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return loaded, nil
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("route: snapshot %s: %w", path, err)
+		}
+		if rec.Kind != codec.KindRouteIndex {
+			return loaded, fmt.Errorf("route: snapshot %s: record %q has kind %d, want route index", path, rec.Key, rec.Kind)
+		}
+		var k indexKey
+		if _, err := fmt.Sscanf(rec.Key, "n=%d&wrap=%t", &k.n, &k.wrap); err != nil {
+			return loaded, fmt.Errorf("route: snapshot %s: unparseable key %q", path, rec.Key)
+		}
+		ix, err := decodeDirIndex(rec.Payload)
+		if err != nil {
+			return loaded, fmt.Errorf("route: snapshot %s: record %q: %w", path, rec.Key, err)
+		}
+		if err := checkShape(k, ix); err != nil {
+			return loaded, fmt.Errorf("route: snapshot %s: %w", path, err)
+		}
+		seedIndex(k, ix)
+		loaded++
+	}
+}
+
+// seedIndex inserts a prebuilt index into the cache with the same
+// bounded-LRU behavior as a live build.
+func seedIndex(key indexKey, ix *dirIndex) {
+	indexCache.Lock()
+	defer indexCache.Unlock()
+	if _, ok := indexCache.m[key]; ok {
+		indexCache.m[key] = ix
+		promoteLocked(key)
+		return
+	}
+	if indexCache.m == nil {
+		indexCache.m = make(map[indexKey]*dirIndex)
+	}
+	indexCache.m[key] = ix
+	indexCache.order = append(indexCache.order, key)
+	if len(indexCache.order) > indexCacheLimit {
+		delete(indexCache.m, indexCache.order[0])
+		indexCache.order = indexCache.order[1:]
+	}
+}

@@ -1,0 +1,133 @@
+package route
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/topology"
+)
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	resetIndexCache()
+	defer resetIndexCache()
+	fresh := map[indexKey]*dirIndex{
+		{8, false}:  indexFor(topology.NewButterfly(8)),
+		{8, true}:   indexFor(topology.NewWrappedButterfly(8)),
+		{16, false}: indexFor(topology.NewButterfly(16)),
+	}
+
+	path := filepath.Join(t.TempDir(), "routeindex.bfc")
+	saved, err := SaveIndexCache(path)
+	if err != nil || saved != len(fresh) {
+		t.Fatalf("saved %d, err=%v, want %d", saved, err, len(fresh))
+	}
+
+	resetIndexCache()
+	loaded, err := LoadIndexCache(path)
+	if err != nil || loaded != len(fresh) {
+		t.Fatalf("loaded %d, err=%v, want %d", loaded, err, len(fresh))
+	}
+	for key, want := range fresh {
+		indexCache.Lock()
+		got, ok := indexCache.m[key]
+		indexCache.Unlock()
+		if !ok {
+			t.Fatalf("key %+v missing after load", key)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("loaded index for %+v differs from the live build", key)
+		}
+	}
+
+	// The seeded indices serve: a routing run on a loaded shape matches a
+	// cold one.
+	warm := SimulateRandomDestinations(topology.NewButterfly(8), nil, 42)
+	resetIndexCache()
+	cold := SimulateRandomDestinations(topology.NewButterfly(8), nil, 42)
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("routing on a snapshot-loaded index diverges: %+v vs %+v", warm, cold)
+	}
+}
+
+func TestLoadMissingSnapshotIsCleanZero(t *testing.T) {
+	n, err := LoadIndexCache(filepath.Join(t.TempDir(), "absent.bfc"))
+	if n != 0 || err != nil {
+		t.Fatalf("missing snapshot: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestLoadRejectsCorruptSnapshot(t *testing.T) {
+	resetIndexCache()
+	defer resetIndexCache()
+	indexFor(topology.NewButterfly(8))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "routeindex.bfc")
+	if _, err := SaveIndexCache(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resetIndexCache()
+		if _, err := LoadIndexCache(p); err == nil {
+			t.Errorf("%s: corrupted snapshot loaded without error", name)
+		}
+	}
+	corrupt("flipped.bfc", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b })
+	corrupt("truncated.bfc", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("foreign.bfc", func(b []byte) []byte { return []byte("{\"not\": \"a snapshot\"}") })
+}
+
+// TestLoadRejectsWellFramedNonsense: a record that passes the CRC but
+// encodes an impossible index (wrong kind, bad key, shape mismatch,
+// non-monotone offsets) is rejected by the validation layer.
+func TestLoadRejectsWellFramedNonsense(t *testing.T) {
+	defer resetIndexCache()
+	write := func(name string, rec codec.Record) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := codec.NewWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	resetIndexCache()
+	payload := encodeDirIndex(indexFor(topology.NewButterfly(8)))
+
+	cases := []codec.Record{
+		{Kind: codec.KindManifest, Key: "n=8&wrap=false", Payload: payload},                    // wrong kind
+		{Kind: codec.KindRouteIndex, Key: "gibberish", Payload: payload},                       // unparseable key
+		{Kind: codec.KindRouteIndex, Key: "n=6&wrap=false", Payload: payload},                  // n not a power of two
+		{Kind: codec.KindRouteIndex, Key: "n=16&wrap=false", Payload: payload},                 // shape mismatch
+		{Kind: codec.KindRouteIndex, Key: "n=8&wrap=false", Payload: payload[:len(payload)-4]}, // short payload
+	}
+	for i, rec := range cases {
+		p := write("bad.bfc", rec)
+		resetIndexCache()
+		if _, err := LoadIndexCache(p); err == nil {
+			t.Errorf("case %d (%s): invalid record loaded without error", i, rec.Key)
+		}
+	}
+}

@@ -14,18 +14,29 @@ var (
 	metricCacheMisses    = obs.NewCounter("serve.cache_misses")
 	metricCacheEvictions = obs.NewCounter("serve.cache_evictions")
 	metricCacheSize      = obs.NewGauge("serve.cache_size")
+	metricCacheBytes     = obs.NewGauge("serve.cache_bytes")
 )
 
 // lruCache is the bounded result cache: canonical request key → rendered
-// response. get promotes its key to most-recently-used, put evicts the
-// least-recently-used entry past the limit. Entries are immutable once
-// stored (handlers serve the cached bytes verbatim), so the cache hands
-// out shared pointers without copying.
+// response. get promotes its key to most-recently-used; put evicts
+// least-recently-used entries past EITHER bound — entry count or
+// approximate byte size. The count bound alone is no memory bound at all
+// (a handful of 2^20-row report manifests is gigabytes at 256 entries),
+// so both are enforced. Entries are immutable once stored (handlers
+// serve the cached bytes verbatim), so the cache hands out shared
+// pointers without copying.
+//
+// Evicted entries are offered to onEvict (outside the lock) — the hook
+// the persistent store uses to catch spills, so "fell out of memory"
+// degrades to "one disk read" instead of "one solve".
 type lruCache struct {
-	mu    sync.Mutex
-	limit int
-	m     map[string]*list.Element
-	order *list.List // front = least recently used, back = most recent
+	mu       sync.Mutex
+	limit    int
+	maxBytes int64
+	bytes    int64
+	m        map[string]*list.Element
+	order    *list.List // front = least recently used, back = most recent
+	onEvict  func(key string, resp *response)
 }
 
 type lruEntry struct {
@@ -33,11 +44,17 @@ type lruEntry struct {
 	resp *response
 }
 
-func newLRUCache(limit int) *lruCache {
+// size is the entry's approximate memory footprint: the rendered body
+// plus the key (struct overhead is noise next to multi-KB manifests).
+func (e *lruEntry) size() int64 { return int64(len(e.key) + len(e.resp.body)) }
+
+func newLRUCache(limit int, maxBytes int64, onEvict func(key string, resp *response)) *lruCache {
 	return &lruCache{
-		limit: limit,
-		m:     make(map[string]*list.Element, limit),
-		order: list.New(),
+		limit:    limit,
+		maxBytes: maxBytes,
+		m:        make(map[string]*list.Element, limit),
+		order:    list.New(),
+		onEvict:  onEvict,
 	}
 }
 
@@ -57,25 +74,42 @@ func (c *lruCache) get(key string) (*response, bool) {
 	return el.Value.(*lruEntry).resp, true
 }
 
-// put stores resp under key, evicting the least-recently-used entry when
-// the cache is full. Re-putting an existing key replaces its value and
-// promotes it.
+// put stores resp under key, evicting least-recently-used entries while
+// either bound is exceeded. Re-putting an existing key replaces its value
+// and promotes it. Evicted entries are handed to onEvict after the lock
+// is released (the spill path writes to disk; that never belongs under a
+// cache mutex).
 func (c *lruCache) put(key string, resp *response) {
+	var spilled []*lruEntry
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*lruEntry).resp = resp
+		entry := el.Value.(*lruEntry)
+		c.bytes -= entry.size()
+		entry.resp = resp
+		c.bytes += entry.size()
 		c.order.MoveToBack(el)
-		return
+	} else {
+		c.m[key] = c.order.PushBack(&lruEntry{key: key, resp: resp})
+		c.bytes += int64(len(key) + len(resp.body))
 	}
-	c.m[key] = c.order.PushBack(&lruEntry{key: key, resp: resp})
-	if c.order.Len() > c.limit {
+	for c.order.Len() > 0 && (c.order.Len() > c.limit || c.bytes > c.maxBytes) {
 		oldest := c.order.Front()
+		entry := oldest.Value.(*lruEntry)
 		c.order.Remove(oldest)
-		delete(c.m, oldest.Value.(*lruEntry).key)
+		delete(c.m, entry.key)
+		c.bytes -= entry.size()
 		metricCacheEvictions.Inc()
+		spilled = append(spilled, entry)
 	}
 	metricCacheSize.Set(int64(c.order.Len()))
+	metricCacheBytes.Set(c.bytes)
+	c.mu.Unlock()
+
+	if c.onEvict != nil {
+		for _, e := range spilled {
+			c.onEvict(e.key, e.resp)
+		}
+	}
 }
 
 // len reports the number of cached responses.
@@ -83,4 +117,23 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// totalBytes reports the approximate cached byte size.
+func (c *lruCache) totalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// snapshot returns every cached (key, response) pair, most recently used
+// last — the drain-time flush walks it to persist what is still hot.
+func (c *lruCache) snapshot() []lruEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*lruEntry))
+	}
+	return out
 }

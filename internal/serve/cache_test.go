@@ -8,8 +8,12 @@ import (
 	"testing"
 )
 
+// unbounded is a byte budget no cache-test entry can exceed, so the
+// entry-count bound is the one under test.
+const unbounded = 1 << 30
+
 func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, unbounded, nil)
 	a, b, d := &response{body: []byte("a")}, &response{body: []byte("b")}, &response{body: []byte("d")}
 	c.put("a", a)
 	c.put("b", b)
@@ -32,7 +36,7 @@ func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
 }
 
 func TestLRUCacheReplaceExisting(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, unbounded, nil)
 	c.put("k", &response{body: []byte("v1")})
 	c.put("k", &response{body: []byte("v2")})
 	if c.len() != 1 {
@@ -41,6 +45,60 @@ func TestLRUCacheReplaceExisting(t *testing.T) {
 	got, ok := c.get("k")
 	if !ok || string(got.body) != "v2" {
 		t.Fatalf("got %q, want v2", got.body)
+	}
+}
+
+// TestLRUCacheByteBound: the cache evicts on approximate byte size even
+// when far under the entry-count limit — the guard against a handful of
+// huge report manifests blowing memory at "only" 256 entries.
+func TestLRUCacheByteBound(t *testing.T) {
+	var spilled []string
+	c := newLRUCache(256, 1000, func(key string, resp *response) {
+		spilled = append(spilled, key)
+	})
+	big := func(n int) *response { return &response{body: make([]byte, n), complete: true} }
+	c.put("a", big(400))
+	c.put("b", big(400))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2 (under both bounds)", c.len())
+	}
+	c.put("c", big(400)) // ~1203 bytes: evict "a", the LRU entry
+	if _, ok := c.get("a"); ok {
+		t.Fatal("byte bound did not evict the oldest entry")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("byte bound over-evicted")
+	}
+	if got := c.totalBytes(); got > 1000 {
+		t.Fatalf("totalBytes = %d, want ≤ 1000", got)
+	}
+	if len(spilled) != 1 || spilled[0] != "a" {
+		t.Fatalf("spilled = %v, want [a]", spilled)
+	}
+
+	// An entry bigger than the whole budget transits the cache without
+	// sticking (and spills like any other eviction): the bound holds even
+	// against a single oversized manifest.
+	c.put("huge", big(5000))
+	if c.len() != 0 {
+		t.Fatalf("len = %d after over-budget put, want 0", c.len())
+	}
+	if got := c.totalBytes(); got != 0 {
+		t.Fatalf("totalBytes = %d, want 0", got)
+	}
+	if want := []string{"a", "c", "b", "huge"}; len(spilled) != 4 || spilled[3] != "huge" {
+		t.Fatalf("spilled = %v, want %v", spilled, want)
+	}
+}
+
+// TestLRUCacheReplaceAdjustsBytes: re-putting a key swaps its byte
+// accounting, it does not leak the old size.
+func TestLRUCacheReplaceAdjustsBytes(t *testing.T) {
+	c := newLRUCache(4, unbounded, nil)
+	c.put("k", &response{body: make([]byte, 100)})
+	c.put("k", &response{body: make([]byte, 10)})
+	if got := c.totalBytes(); got != int64(len("k"))+10 {
+		t.Fatalf("totalBytes = %d, want %d", got, len("k")+10)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Registry metrics of the request path.
@@ -40,6 +41,8 @@ var (
 	metricRejected429 = obs.NewCounter("serve.rejected_429")
 	metricRejected503 = obs.NewCounter("serve.rejected_503")
 	metricInflight    = obs.NewGauge("serve.inflight")
+	metricCacheSpills = obs.NewCounter("serve.cache_spills")
+	metricStoreFills  = obs.NewCounter("serve.store_fills")
 )
 
 // Config tunes a Server. The zero value serves with GOMAXPROCS solve
@@ -58,8 +61,16 @@ type Config struct {
 	// (≤0: 10s); MaxDeadline caps client-requested budgets (≤0: 60s).
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
-	// CacheEntries bounds the LRU result cache (≤0: 256).
+	// CacheEntries bounds the LRU result cache (≤0: 256); CacheBytes
+	// bounds its approximate memory footprint (≤0: 64 MiB). Eviction
+	// fires on whichever bound trips first.
 	CacheEntries int
+	CacheBytes   int64
+	// Store, when non-nil, is the persistent result store: the LRU spills
+	// evictions into it, cache misses fall back to it (X-Cache:
+	// store-hit), Shutdown flushes the surviving cache entries to it, and
+	// Precompute batch-fills it.
+	Store *store.Store
 	// Trace, when non-nil, receives one span per request plus the solver
 	// spans of the engines it runs.
 	Trace *obs.Tracer
@@ -86,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
 	}
 	return c
 }
@@ -148,11 +162,22 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
-		cache:  newLRUCache(cfg.CacheEntries),
 		flight: newFlightGroup(),
 		sem:    make(chan struct{}, cfg.MaxInflight),
 		env:    obs.CaptureEnvironment(),
 	}
+	// LRU evictions spill to the persistent store (when configured), so
+	// falling out of memory costs a future request one disk read, not one
+	// solve — and a restart loses nothing that was ever cached.
+	var onEvict func(key string, resp *response)
+	if cfg.Store != nil {
+		onEvict = func(key string, resp *response) {
+			if s.spill(key, resp) {
+				metricCacheSpills.Inc()
+			}
+		}
+	}
+	s.cache = newLRUCache(cfg.CacheEntries, cfg.CacheBytes, onEvict)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -187,10 +212,17 @@ func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
 // best-so-far results marked non-exact, and their handlers still write
 // those responses — and the HTTP server stops once every handler has
 // finished, or when ctx expires.
+// When a persistent store is configured, the drained cache is flushed
+// into it before returning, so the hot set survives into the next
+// process (the warm-start snapshot).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.baseCancel()
-	return s.http.Shutdown(ctx)
+	err := s.http.Shutdown(ctx)
+	if _, ferr := s.FlushStore(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // handleHealthz answers 200 "ok" while serving and 503 "draining" once
@@ -251,6 +283,16 @@ func (s *Server) handleQuery(name string, parse func(q queryValues) (queryReques
 			s.writeResponse(w, resp, source)
 			return
 		}
+		// LRU miss: fall back to the persistent store before solving. A
+		// stored body is a past complete solve, served verbatim — a
+		// restarted daemon answers everything it (or a precompute batch)
+		// ever solved at disk-read cost, no solver invoked.
+		if resp, ok := s.storeGet(key); ok {
+			source = "store-hit"
+			s.cache.put(key, resp)
+			s.writeResponse(w, resp, source)
+			return
+		}
 
 		resp, shared, err := s.flight.do(r.Context(), key, func() (*response, error) {
 			return s.solve(r.Context(), name, key, req, deadline)
@@ -298,7 +340,22 @@ func (s *Server) solve(reqCtx context.Context, name, key string, req queryReques
 	}
 	complete := ctx.Err() == nil
 
-	m.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	resp, err := s.render(m, name, key, deadline, complete, time.Since(begin))
+	if err != nil {
+		return nil, err
+	}
+	if complete {
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// render turns a solved manifest into the response the handler writes —
+// the single rendering path shared by live solves and the precompute
+// batch, so a stored body and a freshly served one are the same bytes
+// (modulo wall-clock telemetry).
+func (s *Server) render(m *obs.Manifest, name, key string, deadline time.Duration, complete bool, elapsed time.Duration) (*response, error) {
+	m.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	env := s.env
 	m.Env = &env
 	m.AddTable("serve", "butterflyd request record", []requestRow{{
@@ -312,12 +369,48 @@ func (s *Server) solve(reqCtx context.Context, name, key string, req queryReques
 		return nil, err
 	}
 	body = append(body, '\n')
+	return &response{body: body, complete: complete}, nil
+}
 
-	resp := &response{body: body, complete: complete}
-	if complete {
-		s.cache.put(key, resp)
+// storeGet looks key up in the persistent store. Errors (bit rot, a
+// mid-compaction crash) are deliberately soft: the request falls through
+// to a fresh solve, and store.read_errors records that it happened.
+func (s *Server) storeGet(key string) (*response, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
 	}
-	return resp, nil
+	body, ok, err := s.cfg.Store.Get(key)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return &response{body: body, complete: true}, true
+}
+
+// spill persists one complete response to the store unless it is already
+// there. It reports whether a write happened; write errors are soft (the
+// result is still in memory or recomputable).
+func (s *Server) spill(key string, resp *response) bool {
+	if s.cfg.Store == nil || !resp.complete || s.cfg.Store.Has(key) {
+		return false
+	}
+	return s.cfg.Store.Put(key, resp.body) == nil
+}
+
+// FlushStore persists every complete cached response that the store does
+// not already hold, then syncs. Shutdown calls it so a drain snapshots
+// the hot set — the warm-start state of the next process.
+func (s *Server) FlushStore() (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, e := range s.cache.snapshot() {
+		if s.spill(e.key, e.resp) {
+			n++
+			metricStoreFills.Inc()
+		}
+	}
+	return n, s.cfg.Store.Sync()
 }
 
 // admit acquires a solve slot. A free slot is immediate; otherwise the

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// rget drives one request through the server's handler directly (no
+// listener): status, X-Cache source, body.
+func rget(t *testing.T, s *Server, path string) (int, string, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Header().Get("X-Cache"), rec.Body.Bytes()
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// scrubTelemetry strips the per-run fields (elapsed_ms at every level,
+// solver explored/pruned work counters, the requesting budget's
+// deadline_ms) from a response body, the same scrub the golden manifest
+// tests use — everything else must be byte-deterministic across runs.
+func scrubTelemetry(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var doc interface{}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	var walk func(v interface{})
+	walk = func(v interface{}) {
+		switch v := v.(type) {
+		case map[string]interface{}:
+			for _, f := range []string{"elapsed_ms", "explored", "pruned", "deadline_ms"} {
+				delete(v, f)
+			}
+			for _, child := range v {
+				walk(child)
+			}
+		case []interface{}:
+			for _, child := range v {
+				walk(child)
+			}
+		}
+	}
+	walk(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWarmStartAcrossRestart is the acceptance test for the persistent
+// store: stop a daemon, start a fresh one on the same directory, and the
+// first query for anything the old process solved answers from disk —
+// byte-identical, no solver invoked.
+func TestWarmStartAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const path = "/v1/bisection?network=wn&n=16"
+
+	st1 := openStore(t, dir)
+	s1 := New(Config{Store: st1})
+	status, source, body1 := rget(t, s1, path)
+	if status != http.StatusOK || source != "miss" {
+		t.Fatalf("first process: status=%d source=%q", status, source)
+	}
+	// Shutdown flushes the drained cache into the store (the warm-start
+	// snapshot), then the store closes cleanly.
+	shutdown(t, s1)
+	if !st1.Has("bisection?network=wn&n=16&exact-nodes=32") {
+		t.Fatal("drain did not flush the cached solve to the store")
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new store handle and server over the same dir.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	s2 := New(Config{Store: st2})
+	solvesBefore := metricSolves.Value()
+	status, source, body2 := rget(t, s2, path)
+	if status != http.StatusOK || source != "store-hit" {
+		t.Fatalf("restarted process: status=%d source=%q", status, source)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("restarted response differs from the original:\n%s\nvs\n%s", body1, body2)
+	}
+	if got := metricSolves.Value() - solvesBefore; got != 0 {
+		t.Fatalf("restarted process ran %d solves, want 0 (disk only)", got)
+	}
+
+	// The store-hit re-warmed the LRU: a repeat is a plain memory hit.
+	if _, source, _ = rget(t, s2, path); source != "hit" {
+		t.Fatalf("repeat after store-hit: source=%q, want hit", source)
+	}
+	shutdown(t, s2)
+}
+
+// TestEvictionSpillsToStore: falling out of the LRU demotes a result to
+// disk instead of discarding it — re-querying it is a store-hit, not a
+// re-solve.
+func TestEvictionSpillsToStore(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	defer st.Close()
+	s := New(Config{Store: st, CacheEntries: 1})
+	const pathA = "/v1/bisection?network=wn&n=4"
+	const pathB = "/v1/bisection?network=wn&n=8"
+
+	spillsBefore := metricCacheSpills.Value()
+	rget(t, s, pathA)
+	rget(t, s, pathB) // evicts A from the one-entry LRU → spill
+	if got := metricCacheSpills.Value() - spillsBefore; got != 1 {
+		t.Fatalf("cache_spills advanced by %d, want 1", got)
+	}
+	if !st.Has("bisection?network=wn&n=4&exact-nodes=32") {
+		t.Fatal("evicted entry missing from the store")
+	}
+
+	solvesBefore := metricSolves.Value()
+	status, source, _ := rget(t, s, pathA)
+	if status != http.StatusOK || source != "store-hit" {
+		t.Fatalf("evicted key: status=%d source=%q, want store-hit", status, source)
+	}
+	if got := metricSolves.Value() - solvesBefore; got != 0 {
+		t.Fatalf("evicted key re-solved %d times, want 0", got)
+	}
+	shutdown(t, s)
+}
+
+// TestIncompleteResponsesNeverSpill: budget-truncated answers are barred
+// from the store exactly as from the cache — a truncated row on disk
+// could mask the full answer forever.
+func TestIncompleteResponsesNeverSpill(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	defer st.Close()
+	s := New(Config{Store: st, CacheEntries: 1})
+	// The incomplete solve is not cached, so fabricate the spill directly:
+	// the guard is in spill itself.
+	if s.spill("bisection?network=bn&n=16&exact-nodes=128", &response{body: []byte("{}"), complete: false}) {
+		t.Fatal("spill persisted an incomplete response")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("store holds %d records, want 0", st.Len())
+	}
+}
+
+// TestPrecomputeFillsStore: a batch fill solves every missing grid point
+// once, a rerun skips them all, and a fresh server over the filled store
+// answers the grid from disk with responses equivalent (modulo wall-clock
+// telemetry) to a live solve.
+func TestPrecomputeFillsStore(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	defer st.Close()
+	batch := New(Config{Store: st})
+
+	grid, err := ParseGrid("wn:2-3,bn:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 {
+		t.Fatalf("grid has %d points, want 3", len(grid))
+	}
+	res, err := batch.Precompute(context.Background(), grid, 2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved != 3 || res.Skipped != 0 || res.Failed != 0 {
+		t.Fatalf("first fill: %+v, want 3 solved", res)
+	}
+	res, err = batch.Precompute(context.Background(), grid, 2, t.Logf)
+	if err != nil || res.Skipped != 3 || res.Solved != 0 {
+		t.Fatalf("refill: %+v err=%v, want 3 skipped", res, err)
+	}
+
+	// A fresh server over the filled store serves the grid from disk.
+	warm := New(Config{Store: st})
+	solvesBefore := metricSolves.Value()
+	status, source, body := rget(t, warm, "/v1/bisection?network=wn&n=8")
+	if status != http.StatusOK || source != "store-hit" {
+		t.Fatalf("precomputed query: status=%d source=%q", status, source)
+	}
+	if got := metricSolves.Value() - solvesBefore; got != 0 {
+		t.Fatalf("precomputed query ran %d solves, want 0", got)
+	}
+
+	// And the stored body matches a live solve, telemetry scrubbed.
+	cold := New(Config{})
+	_, _, fresh := rget(t, cold, "/v1/bisection?network=wn&n=8")
+	if got, want := scrubTelemetry(t, body), scrubTelemetry(t, fresh); !bytes.Equal(got, want) {
+		t.Fatalf("precomputed body diverges from a live solve:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestPrecomputeRequiresStore: batch mode without -store is a config
+// error, not a silent no-op.
+func TestPrecomputeRequiresStore(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Precompute(context.Background(), []GridPoint{{Network: "bn", LogN: 2, ExactNodes: 32}}, 1, nil); err == nil {
+		t.Fatal("precompute without a store did not error")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	grid, err := ParseGrid("bn:3-5, wn:2:0 ,ccc:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []GridPoint{
+		{Network: "bn", LogN: 3, ExactNodes: 32},
+		{Network: "bn", LogN: 4, ExactNodes: 32},
+		{Network: "bn", LogN: 5, ExactNodes: 32},
+		{Network: "wn", LogN: 2, ExactNodes: 0},
+		{Network: "ccc", LogN: 3, ExactNodes: 32},
+	}
+	if !reflect.DeepEqual(grid, want) {
+		t.Fatalf("grid = %+v\nwant %+v", grid, want)
+	}
+
+	bad := []string{
+		"",                // empty
+		"bn",              // no range
+		"bn:5-3",          // inverted range
+		"bn:0-2",          // below log range
+		"bn:2-99",         // above log range
+		"zz:2-3",          // unknown network
+		"bn:2-3:abc",      // bad exact-nodes
+		"bn:2-3:9999999",  // exact-nodes out of endpoint range
+		"wn:1",            // n=2 below wn's minimum
+		"bn:2-3,,bad:::x", // malformed entry
+	}
+	for _, spec := range bad {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Errorf("ParseGrid(%q) accepted an invalid spec", spec)
+		}
+	}
+}
