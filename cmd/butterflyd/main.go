@@ -13,10 +13,20 @@
 //
 //	/v1/bisection?network=bn&n=1024[&exact-nodes=32][&timeout=5s]
 //	/v1/expansion?kind=ee_wn&n=256[&d=1,2,3][&exact-nodes=32][&kmax=8]
-//	/v1/routing?n=64[&kind=random|permutation][&trials=25][&seed=1]
+//	/v1/routing?n=64[&kind=random|permutation|hotspot|bitreversal]
+//	           [&trials=25][&seed=1][&drop=0,0.05,0.1][&dead=0.02]
+//	           [&retransmits=4][&switching=sf|ct]
 //	/v1/report[?quick=true][&seed=1]
 //	/healthz          200 while serving, 503 while draining
 //	/debug/metrics    live metrics registry (cache, latency, solver)
+//
+// The /v1/routing fault parameters drive the seeded lossy-link model:
+// drop is the per-transmission loss probability (a comma-separated list
+// sweeps a degradation curve, one row per rate), dead is the fraction of
+// links killed for whole trials, retransmits bounds per-packet retries
+// (0 = unbounded) and switching picks store-and-forward (sf) or
+// cut-through (ct). A query whose every trial exhausts the 64·N step
+// limit answers 422 instead of looping.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight solves are signalled to
 // wind down, their handlers return best-so-far results marked non-exact

@@ -64,6 +64,15 @@ func PowerOfTwo(name string, v int) error {
 	return nil
 }
 
+// Probability rejects rates outside [0, 1) — a drop or dead-link
+// probability of exactly 1 would retry (or kill every link) forever.
+func Probability(name string, v float64) error {
+	if v < 0 || v >= 1 {
+		return fmt.Errorf("-%s must be in [0, 1) (got %g)", name, v)
+	}
+	return nil
+}
+
 // Validate prints every non-nil error and the flag usage to stderr, then
 // exits with code 2 (the flag package's own parse-failure code). With no
 // failures it returns silently.

@@ -40,6 +40,10 @@ func TestCheckers(t *testing.T) {
 		{"pow2 zero", PowerOfTwo("n", 0), false},
 		{"pow2 odd", PowerOfTwo("n", 100), false},
 		{"pow2 negative", PowerOfTwo("n", -8), false},
+		{"prob ok zero", Probability("drop", 0), true},
+		{"prob ok mid", Probability("drop", 0.25), true},
+		{"prob one", Probability("drop", 1), false},
+		{"prob negative", Probability("drop", -0.1), false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -48,6 +48,7 @@ func (r *FullReport) AppendManifestTables(m *obs.Manifest) {
 	}
 
 	m.AddTable("routing.random", "E8: routing vs bisection bound (§1.2)", r.Routing).
+		AddTable("routing.faults", "E8: routing under faults (drop-rate sweep)", r.RoutingFaults).
 		AddTable("benes", "E9: Beneš rearrangeability (Lemma 2.5)", r.Benes).
 		AddTable("variants", "E12: §1.6 related bounds (Snir, Hong–Kung)", variants).
 		AddTable("bandwidth.directed", "E13: directed (Kruskal–Snir) bisection", r.Bandwidth).

@@ -266,7 +266,7 @@ func TestFullReportManifestTables(t *testing.T) {
 		"structure", "bisection.bn", "bisection.sub_folklore", "mos",
 		"bisection.wn", "bisection.ccc",
 		"expansion.ee_wn", "expansion.ne_wn", "expansion.ee_bn", "expansion.ne_bn",
-		"routing.random", "benes", "variants", "bandwidth.directed",
+		"routing.random", "routing.faults", "benes", "variants", "bandwidth.directed",
 		"transmutation", "dissemination", "emulation", "layout", "checks",
 	}
 	if len(m.Tables) != len(want) {

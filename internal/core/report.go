@@ -9,6 +9,7 @@ import (
 	"repro/internal/construct"
 	"repro/internal/mos"
 	"repro/internal/obs"
+	"repro/internal/route"
 	"repro/internal/solve"
 	"repro/internal/transmute"
 )
@@ -74,7 +75,11 @@ type FullReport struct {
 	Expansion      [][]ExpansionRow
 	ExpansionExact [][]ExpansionRow
 	Routing        []RoutingReport
-	Benes          []BenesCheck
+	// RoutingFaults is the E8 degradation curve: drop-rate sweep at a
+	// fixed shape, measuring how greedy routing decays from the §1.2
+	// floor as links turn lossy.
+	RoutingFaults []RoutingReport
+	Benes         []BenesCheck
 	// Variants holds the two E12 tables (n = 8 and n = 64).
 	Variants      [][]VariantRow
 	Bandwidth     []BandwidthReport
@@ -179,6 +184,15 @@ func BuildFullReport(opts ReportOptions) (*FullReport, error) {
 		}))
 	}
 
+	rep.RoutingFaults = RoutingDegradation(32, opts.Seed, route.RandomDestinations,
+		[]float64{0, 0.02, 0.05, 0.1}, RoutingOptions{
+			Trials:           25,
+			Ctx:              opts.Ctx,
+			OnProgress:       opts.OnProgress,
+			ProgressInterval: opts.ProgressInterval,
+			Trace:            opts.Trace,
+		})
+
 	for _, n := range []int{8, 64, 256} {
 		routed, total := BenesRearrangeabilityCheck(n, 200, opts.Seed)
 		rep.Benes = append(rep.Benes, BenesCheck{N: n, Routed: routed, Total: total})
@@ -253,6 +267,7 @@ func RenderFullReport(w io.Writer, rep *FullReport) {
 
 	fmt.Fprintln(w, "\n=== E8: routing vs bisection bound (§1.2) ===")
 	fmt.Fprint(w, RenderRoutingTable("random destinations on Bn (25 trials/row)", rep.Routing))
+	fmt.Fprint(w, RenderFaultRoutingTable("routing under faults: drop-rate sweep on B32", rep.RoutingFaults))
 
 	fmt.Fprintln(w, "\n=== E9: Beneš rearrangeability (Lemma 2.5 substrate) ===")
 	for _, b := range rep.Benes {

@@ -33,6 +33,11 @@ type RoutingOptions struct {
 	// Trace, when non-nil, receives per-trial events on the simulation's
 	// span.
 	Trace *obs.Tracer
+
+	// Fault injects link faults into every trial (zero: healthy network).
+	Fault route.FaultOptions
+	// Switching selects the switch discipline (default store-and-forward).
+	Switching route.Switching
 }
 
 // RoutingReport is one row of the §1.2 experiment (E8): multi-trial
@@ -45,8 +50,17 @@ type RoutingReport struct {
 	N           int `json:"n"`
 	Trials      int `json:"trials"`
 	CutCapacity int `json:"cut_capacity"`
+	// Pattern and Switching name the traffic kind and switch discipline
+	// of the row (slugs: random/permutation/hotspot/bitreversal, sf/ct).
+	Pattern   string `json:"pattern,omitempty"`
+	Switching string `json:"switching,omitempty"`
+	// Fault knobs of the row; zero values (healthy network) are omitted.
+	DropProb       float64 `json:"drop_prob,omitempty"`
+	DeadLinkProb   float64 `json:"dead_link_prob,omitempty"`
+	MaxRetransmits int     `json:"max_retransmits,omitempty"`
 	// Stats aggregates the trials: min/mean/max steps, the certified
-	// congestion bounds, steps/bound ratios and the tightness count.
+	// congestion bounds, steps/bound ratios, the tightness count, and the
+	// fault-model delivery/drop/retransmission record.
 	Stats route.TrialStats `json:"stats"`
 }
 
@@ -61,6 +75,34 @@ func RandomRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingRepor
 // Bn along monotone paths, with the same trials/workers fan-out.
 func PermutationRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingReport {
 	return routingExperiment(n, seed, route.RandomPermutations, opt)
+}
+
+// HotSpotRoutingExperiment routes the adversarial all-to-one pattern: a
+// packet from every node to one random hot node per trial.
+func HotSpotRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingReport {
+	return routingExperiment(n, seed, route.HotSpotDestinations, opt)
+}
+
+// BitReversalRoutingExperiment routes the deterministic bit-reversal
+// permutation ⟨w,l⟩ → ⟨reverse(w),l⟩, the classic adversary of greedy
+// column routing.
+func BitReversalRoutingExperiment(n int, seed int64, opt RoutingOptions) RoutingReport {
+	return routingExperiment(n, seed, route.BitReversalDestinations, opt)
+}
+
+// RoutingDegradation sweeps the drop rate at a fixed shape: one report
+// row per rate in drops, all other knobs taken from opt. It is the
+// measured degradation curve of ROADMAP's scenario-diversity item — mean
+// steps and delivery rate versus link loss, each row still scored
+// against the §1.2 N/(4·BW) floor.
+func RoutingDegradation(n int, seed int64, kind route.TrialKind, drops []float64, opt RoutingOptions) []RoutingReport {
+	reports := make([]RoutingReport, 0, len(drops))
+	for _, p := range drops {
+		o := opt
+		o.Fault.DropProb = p
+		reports = append(reports, routingExperiment(n, seed, kind, o))
+	}
+	return reports
 }
 
 func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptions) RoutingReport {
@@ -84,12 +126,19 @@ func routingExperiment(n int, seed int64, kind route.TrialKind, opt RoutingOptio
 		Ctx:              opt.Ctx,
 		OnProgress:       opt.OnProgress,
 		ProgressInterval: opt.ProgressInterval,
+		Fault:            opt.Fault,
+		Switching:        opt.Switching,
 	})
 	return RoutingReport{
-		N:           n,
-		Trials:      stats.Trials,
-		CutCapacity: ref.Capacity(),
-		Stats:       stats,
+		N:              n,
+		Trials:         stats.Trials,
+		CutCapacity:    ref.Capacity(),
+		Pattern:        kind.Slug(),
+		Switching:      opt.Switching.Slug(),
+		DropProb:       opt.Fault.DropProb,
+		DeadLinkProb:   opt.Fault.DeadLinkProb,
+		MaxRetransmits: opt.Fault.MaxRetransmits,
+		Stats:          stats,
 	}
 }
 
@@ -117,6 +166,34 @@ func RenderRoutingTable(title string, reports []RoutingReport) string {
 			fmt.Sprintf("%.2f", s.MeanRatio),
 			fmt.Sprintf("%d/%d", s.TightTrials, s.Trials),
 			s.MaxQueuePeak)
+	}
+	return t.String()
+}
+
+// RenderFaultRoutingTable renders fault-injected routing rows (one per
+// scenario, typically a drop-rate sweep): the degradation table of mean
+// steps, delivery rate, and steps/floor ratio versus link loss.
+func RenderFaultRoutingTable(title string, reports []RoutingReport) string {
+	t := tablefmt.New(title,
+		"n", "pattern", "sw", "drop", "dead", "retx≤", "trials",
+		"steps mean", "delivered", "dropped", "retransmits", "steps/bound", "exhausted")
+	for _, r := range reports {
+		s := r.Stats
+		retx := "∞"
+		if r.MaxRetransmits > 0 {
+			retx = fmt.Sprintf("%d", r.MaxRetransmits)
+		}
+		t.AddRow(r.N, r.Pattern, r.Switching,
+			fmt.Sprintf("%g", r.DropProb),
+			fmt.Sprintf("%g", r.DeadLinkProb),
+			retx,
+			s.Trials,
+			fmt.Sprintf("%.1f", s.MeanSteps),
+			fmt.Sprintf("%.3f", s.DeliveredRate),
+			fmt.Sprintf("%.1f", s.MeanDropped),
+			fmt.Sprintf("%.1f", s.MeanRetransmits),
+			fmt.Sprintf("%.2f", s.MeanRatio),
+			s.ExhaustedTrials)
 	}
 	return t.String()
 }

@@ -46,6 +46,21 @@ type simState struct {
 	rng  *rand.Rand
 	perm []int
 
+	// Fault-injection state, set per call by setScenario/seedFaults. The
+	// fault RNG is separate from the destination RNG, so enabling faults
+	// never perturbs which destinations a seed draws — and the zero-value
+	// scenario consumes no fault randomness at all.
+	fault     FaultOptions
+	sw        Switching
+	haveDead  bool
+	dead      []bool  // per directed edge: permanently failed this trial
+	deadCount int     // dead entries set by the last seedFaults
+	retry     []int32 // per packet: failed transmission attempts so far
+	stamp     []int64 // per directed edge: clock of its last traversal
+	clock     int64   // monotone step counter across runs (never reset)
+	faultSrc  rand.Source64
+	faultRng  *rand.Rand
+
 	// dirty marks a state whose queues may be non-empty (a run panicked
 	// mid-flight); such states are not returned to the pool.
 	dirty bool
@@ -76,6 +91,15 @@ func (st *simState) bind(b *topology.Butterfly) {
 	for i := range st.active {
 		st.active[i] = 0
 	}
+	// The fault arrays grow on their own cap check: states pooled before
+	// the fault model existed (or grown for a smaller butterfly) reuse
+	// their queue arrays but may still need these.
+	if cap(st.dead) < e {
+		st.dead = make([]bool, e)
+		st.stamp = make([]int64, e)
+	}
+	st.dead = st.dead[:e]
+	st.stamp = st.stamp[:e]
 	maxP := b.N()
 	if cap(st.pos) < maxP {
 		st.pos = make([]int32, maxP)
@@ -83,11 +107,58 @@ func (st *simState) bind(b *topology.Butterfly) {
 	}
 	st.pos = st.pos[:maxP]
 	st.qNext = st.qNext[:maxP]
+	if cap(st.retry) < maxP {
+		st.retry = make([]int32, maxP)
+	}
+	st.retry = st.retry[:maxP]
 	if st.rng == nil {
 		st.src = rand.NewSource(1).(rand.Source64)
 		st.rng = rand.New(st.src)
 	}
+	// Reset to the healthy scenario; setScenario re-arms faults per call.
+	st.fault = FaultOptions{}
+	st.sw = StoreAndForward
+	st.haveDead = false
+	st.deadCount = 0
 	st.dirty = false
+}
+
+// setScenario installs the fault model and switching discipline for the
+// trials that follow. Callers must seed the fault plan per trial with
+// seedFaults after compiling each trial's paths.
+func (st *simState) setScenario(f FaultOptions, sw Switching) {
+	if err := f.Validate(); err != nil {
+		panic("route: " + err.Error())
+	}
+	st.fault = f
+	st.sw = sw
+}
+
+// seedFaults re-seeds the fault RNG for one trial and samples that
+// trial's dead-link plan (one Float64 per directed edge, in edge-id
+// order — the same enumeration the reference engine uses). A disabled
+// fault model consumes nothing.
+func (st *simState) seedFaults(seed int64) {
+	st.haveDead = false
+	st.deadCount = 0
+	if !st.fault.Enabled() {
+		return
+	}
+	if st.faultRng == nil {
+		st.faultSrc = rand.NewSource(1).(rand.Source64)
+		st.faultRng = rand.New(st.faultSrc)
+	}
+	st.faultSrc.Seed(faultSeed(seed))
+	if st.fault.DeadLinkProb > 0 {
+		st.haveDead = true
+		for e := range st.dead {
+			d := st.faultRng.Float64() < st.fault.DeadLinkProb
+			st.dead[e] = d
+			if d {
+				st.deadCount++
+			}
+		}
+	}
 }
 
 // setCut installs the reference cut for §1.2 accounting (nil disables it).
@@ -214,6 +285,68 @@ func (st *simState) compileRandomPermutation(seed int64) {
 	}
 }
 
+// compileHotSpot draws one uniform hot node per trial and routes a packet
+// from every other node of Bn to it — the adversarial all-to-one pattern
+// that serializes on the hot node's in-edges regardless of bisection.
+func (st *simState) compileHotSpot(seed int64) {
+	if st.b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	st.src.Seed(seed)
+	st.resetPaths()
+	n := st.b.N()
+	hot := st.rng.Intn(n)
+	for v := 0; v < n; v++ {
+		if v == hot {
+			continue
+		}
+		st.beginPath()
+		st.threeLeg(v, hot)
+		st.endPath()
+	}
+}
+
+// compileBitReversal routes node ⟨w,l⟩ of Bn to ⟨reverse(w),l⟩ — the
+// classic adversarial permutation for greedy column routing (every packet
+// flips all differing bits, concentrating traffic mid-network). It is
+// deterministic: seeds only vary the fault plan, not the traffic.
+func (st *simState) compileBitReversal() {
+	if st.b.Wraparound() {
+		panic("route: simulator targets Bn")
+	}
+	st.resetPaths()
+	b, d := st.b, st.b.Dim()
+	for v := 0; v < b.N(); v++ {
+		w, l := b.Column(v), b.Level(v)
+		rw := bitutil.Reverse(w, d)
+		if rw == w {
+			continue // a fixed column maps to itself: no packet
+		}
+		st.beginPath()
+		st.threeLeg(v, b.Node(rw, l))
+		st.endPath()
+	}
+}
+
+// compileKind compiles one trial of kind from seed. The topology has been
+// validated by the caller (checkKindTopology).
+func (st *simState) compileKind(kind TrialKind, seed int64) {
+	switch kind {
+	case RandomDestinations:
+		st.compileRandomDestinations(seed)
+	case WrappedRandomDestinations:
+		st.compileRandomDestinationsWrapped(seed)
+	case RandomPermutations:
+		st.compileRandomPermutation(seed)
+	case HotSpotDestinations:
+		st.compileHotSpot(seed)
+	case BitReversalDestinations:
+		st.compileBitReversal()
+	default:
+		panic(fmt.Sprintf("route: unknown trial kind %d", int(kind)))
+	}
+}
+
 // threeLeg walks the three-leg route: up the source column to level 0,
 // across the (rotated, for Wn) monotone path, down the destination column.
 // b.Node's level wraparound makes the same walk serve Bn (threeLegPath)
@@ -263,6 +396,29 @@ func (st *simState) push(e, pk int32) {
 	st.qLen[e]++
 }
 
+// popHead removes and returns the head packet of edge e's FIFO queue,
+// clearing the busy bit when the queue drains.
+func (st *simState) popHead(e int32) int32 {
+	pk := st.qHead[e]
+	st.qHead[e] = st.qNext[pk]
+	st.qLen[e]--
+	if st.qLen[e] == 0 {
+		st.active[e>>6] &^= 1 << uint(e&63)
+	}
+	return pk
+}
+
+// clearQueues empties every FIFO queue and the busy bitset, returning an
+// exhausted (step-limited) state to a pool-safe condition.
+func (st *simState) clearQueues() {
+	for i := range st.qLen {
+		st.qLen[i] = 0
+	}
+	for i := range st.active {
+		st.active[i] = 0
+	}
+}
+
 // run executes the synchronous store-and-forward model on the compiled
 // paths until every packet arrives. Each step snapshots the busy edges in
 // increasing id order, then forwards one packet per edge in that same
@@ -286,7 +442,7 @@ const stepPollStride = 32
 // leaves the state dirty — its queues still hold packets — so putState
 // drops it instead of pooling it.
 func (st *simState) runMonitored(maxSteps int, mon *solve.Monitor) (res SimResult, ok bool) {
-	res = SimResult{Packets: st.npaths}
+	res = SimResult{Packets: st.npaths, DeadLinks: st.deadCount}
 	if st.haveCut {
 		for p := 0; p < st.npaths; p++ {
 			for e := st.pathStart[p]; e < st.pathStart[p+1]; e++ {
@@ -302,13 +458,25 @@ func (st *simState) runMonitored(maxSteps int, mon *solve.Monitor) (res SimResul
 	}
 
 	st.dirty = true
+	drops := st.fault.DropProb > 0
 	remaining := 0
 	for p := 0; p < st.npaths; p++ {
 		st.pos[p] = 0
-		if st.pathStart[p] < st.pathStart[p+1] {
-			st.push(st.pathEdges[st.pathStart[p]], int32(p))
-			remaining++
+		if drops {
+			st.retry[p] = 0
 		}
+		first := st.pathStart[p]
+		if first == st.pathStart[p+1] {
+			res.Delivered++ // zero-edge route: already home
+			continue
+		}
+		e := st.pathEdges[first]
+		if st.haveDead && st.dead[e] {
+			res.Dropped++ // injected straight into a dead link
+			continue
+		}
+		st.push(e, int32(p))
+		remaining++
 	}
 	pollIn := stepPollStride
 	for remaining > 0 {
@@ -321,8 +489,18 @@ func (st *simState) runMonitored(maxSteps int, mon *solve.Monitor) (res SimResul
 		}
 		res.Steps++
 		if res.Steps > maxSteps {
-			panic(fmt.Sprintf("route: simulation did not converge within the %d-step limit", maxSteps))
+			// Non-convergence is a reportable outcome, not a crash: heavy
+			// drop rates with unbounded retransmission legitimately exceed
+			// any step limit, and the daemon must answer such requests with
+			// an error, not a panic. The queues are cleared so the state
+			// stays pool-safe.
+			res.Steps = maxSteps
+			res.Exhausted = true
+			st.clearQueues()
+			st.dirty = false
+			return res, true
 		}
+		st.clock++
 		moves := st.moves[:0]
 		for wi, word := range st.active {
 			base := int32(wi) << 6
@@ -338,21 +516,81 @@ func (st *simState) runMonitored(maxSteps int, mon *solve.Monitor) (res SimResul
 		st.moves = moves
 		for _, e := range moves {
 			pk := st.qHead[e]
-			st.qHead[e] = st.qNext[pk]
-			st.qLen[e]--
-			if st.qLen[e] == 0 {
-				st.active[e>>6] &^= 1 << uint(e&63)
+			if drops && st.faultRng.Float64() < st.fault.DropProb {
+				res.Retransmits++
+				st.retry[pk]++
+				if st.fault.MaxRetransmits > 0 && int(st.retry[pk]) >= st.fault.MaxRetransmits {
+					st.popHead(e)
+					remaining--
+					res.Dropped++
+				}
+				continue
 			}
+			st.popHead(e)
 			remaining--
-			st.pos[pk]++
-			if next := st.pathStart[pk] + st.pos[pk]; next < st.pathStart[pk+1] {
-				st.push(st.pathEdges[next], pk)
-				remaining++
+			if st.sw == CutThrough {
+				st.stamp[e] = st.clock
 			}
+			st.pos[pk]++
+			next := st.pathStart[pk] + st.pos[pk]
+			if next >= st.pathStart[pk+1] {
+				res.Delivered++
+				continue
+			}
+			ne := st.pathEdges[next]
+			if st.haveDead && st.dead[ne] {
+				res.Dropped++
+				continue
+			}
+			if st.sw == CutThrough {
+				var consumed bool
+				ne, consumed = st.cutThrough(pk, ne, &res)
+				if consumed {
+					continue
+				}
+			}
+			st.push(ne, pk)
+			remaining++
 		}
 	}
 	st.dirty = false
 	return res, true
+}
+
+// cutThrough advances packet pk through consecutive idle edges (empty
+// queue, not yet traversed this step) within the current step, starting
+// from candidate edge ne — which the caller has already checked is alive.
+// It returns the edge the packet stalls on (consumed=false → the caller
+// enqueues it there) or consumed=true when the walk delivered or dropped
+// the packet. Each hop of the walk is one transmission attempt and draws
+// its own drop decision, in the same order the reference engine draws.
+func (st *simState) cutThrough(pk, ne int32, res *SimResult) (int32, bool) {
+	drops := st.fault.DropProb > 0
+	for st.qLen[ne] == 0 && st.stamp[ne] != st.clock {
+		if drops && st.faultRng.Float64() < st.fault.DropProb {
+			res.Retransmits++
+			st.retry[pk]++
+			if st.fault.MaxRetransmits > 0 && int(st.retry[pk]) >= st.fault.MaxRetransmits {
+				res.Dropped++
+				return ne, true
+			}
+			return ne, false // stall here; retransmit from this queue next step
+		}
+		st.stamp[ne] = st.clock
+		st.pos[pk]++
+		next := st.pathStart[pk] + st.pos[pk]
+		if next >= st.pathStart[pk+1] {
+			res.Delivered++
+			return ne, true
+		}
+		nxt := st.pathEdges[next]
+		if st.haveDead && st.dead[nxt] {
+			res.Dropped++
+			return ne, true
+		}
+		ne = nxt
+	}
+	return ne, false
 }
 
 // defaultMaxSteps is the non-convergence guard limit: any correct
@@ -414,5 +652,45 @@ func SimulatePermutation(b *topology.Butterfly, ref *cut.Cut, perm []int) (SimRe
 	if err := st.compilePermutation(perm); err != nil {
 		return SimResult{}, err
 	}
+	return st.run(defaultMaxSteps(b)), nil
+}
+
+// checkKindTopology verifies that kind can run on b, surfacing the
+// compile-time panics as a returned error for request-level validation.
+func checkKindTopology(kind TrialKind, b *topology.Butterfly) error {
+	switch kind {
+	case RandomDestinations, RandomPermutations, HotSpotDestinations, BitReversalDestinations:
+		if b.Wraparound() {
+			return fmt.Errorf("route: %s targets Bn, got a wraparound butterfly", kind)
+		}
+	case WrappedRandomDestinations:
+		if !b.Wraparound() {
+			return fmt.Errorf("route: %s targets Wn, got an ordinary butterfly", kind)
+		}
+	default:
+		return fmt.Errorf("route: unknown trial kind %d", int(kind))
+	}
+	return nil
+}
+
+// SimulateScenario runs one trial of kind on b under the given fault model
+// and switching discipline on the flat engine. Seed drives both the
+// traffic draw and (through a separate RNG stream) the fault plan; with
+// the zero FaultOptions and StoreAndForward it is byte-identical to the
+// healthy single-trial entry points. A trial that exceeds the step limit
+// returns with Exhausted set — never a panic.
+func SimulateScenario(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, seed int64, f FaultOptions, sw Switching) (SimResult, error) {
+	if err := checkKindTopology(kind, b); err != nil {
+		return SimResult{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	st := getState(b)
+	defer putState(st)
+	st.setCut(ref)
+	st.setScenario(f, sw)
+	st.compileKind(kind, seed)
+	st.seedFaults(seed)
 	return st.run(defaultMaxSteps(b)), nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/cut"
@@ -197,36 +196,79 @@ func TestSimulateManyKindValidation(t *testing.T) {
 	})
 }
 
-// TestMaxStepsGuardNamesLimit forces non-convergence via an absurdly low
-// step limit and checks the panic message reports it.
-func TestMaxStepsGuardNamesLimit(t *testing.T) {
+// TestMaxStepsExhaustion forces non-convergence via an absurdly low step
+// limit and checks the trials come back flagged Exhausted — never a panic
+// — excluded from the aggregates, and that the worker states survive to
+// run a healthy aggregate afterwards.
+func TestMaxStepsExhaustion(t *testing.T) {
 	b := topology.NewButterfly(16)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatalf("no panic with a 1-step limit")
-		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "1-step limit") {
-			t.Fatalf("panic %v does not name the step limit", r)
-		}
-	}()
-	SimulateMany(b, nil, RandomDestinations, ManyOptions{Trials: 2, Workers: 2, MaxSteps: 1})
+	s := SimulateMany(b, nil, RandomDestinations, ManyOptions{Trials: 2, Workers: 2, MaxSteps: 1})
+	if s.ExhaustedTrials != 2 {
+		t.Fatalf("ExhaustedTrials = %d, want 2", s.ExhaustedTrials)
+	}
+	if s.Trials != 0 {
+		t.Fatalf("Trials = %d, want 0 (exhausted trials are excluded)", s.Trials)
+	}
+	if s.TotalPackets != 0 || s.MeanSteps != 0 {
+		t.Fatalf("exhausted trials leaked into the aggregates: %+v", s)
+	}
+	// The pooled states cleared their queues: a follow-up healthy run on
+	// the same shape must agree with a fresh single-trial simulation.
+	after := SimulateMany(b, nil, RandomDestinations, ManyOptions{Trials: 1, Seed: 7})
+	want := SimulateRandomDestinations(b, nil, TrialSeed(7, 0))
+	if after.ExhaustedTrials != 0 || after.Trials != 1 || after.MeanSteps != float64(want.Steps) {
+		t.Fatalf("post-exhaustion run disagrees: %+v, want steps %d", after, want.Steps)
+	}
+}
+
+// TestSimulateScenarioExhausted checks the single-trial scenario entry
+// reports exhaustion through the result, with partial counters intact.
+func TestSimulateScenarioExhausted(t *testing.T) {
+	b := topology.NewButterfly(16)
+	f := FaultOptions{DropProb: 0.999}
+	res, err := SimulateScenario(b, nil, RandomDestinations, 1, f, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("DropProb=0.999 with unbounded retransmission converged: %+v", res)
+	}
+	if res.Steps != defaultMaxSteps(b) {
+		t.Fatalf("Steps = %d, want the %d-step limit", res.Steps, defaultMaxSteps(b))
+	}
+	if res.Retransmits == 0 {
+		t.Fatalf("exhausted run reports no retransmissions: %+v", res)
+	}
 }
 
 func TestTrialKindString(t *testing.T) {
 	for _, tc := range []struct {
 		kind TrialKind
 		want string
+		slug string
 	}{
-		{RandomDestinations, "random destinations"},
-		{WrappedRandomDestinations, "wrapped random destinations"},
-		{RandomPermutations, "random permutations"},
-		{TrialKind(9), "TrialKind(9)"},
+		{RandomDestinations, "random destinations", "random"},
+		{WrappedRandomDestinations, "wrapped random destinations", "wrapped"},
+		{RandomPermutations, "random permutations", "permutation"},
+		{HotSpotDestinations, "hot-spot destinations", "hotspot"},
+		{BitReversalDestinations, "bit-reversal destinations", "bitreversal"},
+		{TrialKind(9), "TrialKind(9)", "kind9"},
 	} {
 		if got := tc.kind.String(); got != tc.want {
 			t.Errorf("TrialKind %d: %q, want %q", int(tc.kind), got, tc.want)
 		}
+		if got := tc.kind.Slug(); got != tc.slug {
+			t.Errorf("TrialKind %d slug: %q, want %q", int(tc.kind), got, tc.slug)
+		}
+		if tc.slug != "kind9" {
+			back, err := ParseTrialKind(tc.slug)
+			if err != nil || back != tc.kind {
+				t.Errorf("ParseTrialKind(%q) = %v, %v; want %v", tc.slug, back, err, tc.kind)
+			}
+		}
+	}
+	if _, err := ParseTrialKind("bogus"); err == nil {
+		t.Error("ParseTrialKind accepted a bogus slug")
 	}
 }
 

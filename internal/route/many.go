@@ -20,6 +20,7 @@ import (
 var (
 	metricTrialsCompleted = obs.NewCounter("route.trials_completed")
 	metricTrialsDiscarded = obs.NewCounter("route.trials_discarded")
+	metricTrialsExhausted = obs.NewCounter("route.trials_exhausted")
 	metricTrialSteps      = obs.NewHistogram("route.trial_steps")
 	metricTrialMaxQueue   = obs.NewHistogram("route.trial_max_queue")
 )
@@ -36,6 +37,14 @@ const (
 	// RandomPermutations routes a uniform random input→output permutation
 	// of Bn along the monotone paths of Lemma 2.3.
 	RandomPermutations
+	// HotSpotDestinations routes a packet from every node of Bn to one
+	// uniform random hot node — the adversarial all-to-one pattern that
+	// serializes on the hot node's in-edges regardless of bisection.
+	HotSpotDestinations
+	// BitReversalDestinations routes node ⟨w,l⟩ of Bn to ⟨reverse(w),l⟩,
+	// the classic adversarial permutation for greedy column routing. The
+	// traffic is deterministic; seeds only vary the fault plan.
+	BitReversalDestinations
 )
 
 func (k TrialKind) String() string {
@@ -46,8 +55,47 @@ func (k TrialKind) String() string {
 		return "wrapped random destinations"
 	case RandomPermutations:
 		return "random permutations"
+	case HotSpotDestinations:
+		return "hot-spot destinations"
+	case BitReversalDestinations:
+		return "bit-reversal destinations"
 	}
 	return fmt.Sprintf("TrialKind(%d)", int(k))
+}
+
+// Slug is the short machine-readable name used in manifests, cache keys
+// and query parameters.
+func (k TrialKind) Slug() string {
+	switch k {
+	case RandomDestinations:
+		return "random"
+	case WrappedRandomDestinations:
+		return "wrapped"
+	case RandomPermutations:
+		return "permutation"
+	case HotSpotDestinations:
+		return "hotspot"
+	case BitReversalDestinations:
+		return "bitreversal"
+	}
+	return fmt.Sprintf("kind%d", int(k))
+}
+
+// ParseTrialKind resolves a slug (as produced by Slug) to a TrialKind.
+func ParseTrialKind(s string) (TrialKind, error) {
+	switch s {
+	case "random":
+		return RandomDestinations, nil
+	case "wrapped":
+		return WrappedRandomDestinations, nil
+	case "permutation":
+		return RandomPermutations, nil
+	case "hotspot":
+		return HotSpotDestinations, nil
+	case "bitreversal":
+		return BitReversalDestinations, nil
+	}
+	return RandomDestinations, fmt.Errorf("trial kind: want random, wrapped, permutation, hotspot or bitreversal (got %q)", s)
 }
 
 // ManyOptions configures SimulateMany. The zero value runs one trial on
@@ -61,11 +109,23 @@ type ManyOptions struct {
 	// aggregate is reproducible at any worker count.
 	Seed int64
 	// MaxSteps bounds each trial's simulated time (≤0: 64·N, far above
-	// any convergent schedule). Exceeding it panics, naming the limit.
+	// any convergent schedule on a healthy network). A trial that exceeds
+	// it completes with Exhausted set and is counted in
+	// TrialStats.ExhaustedTrials — never a panic: heavy drop rates with
+	// unbounded retransmission make non-convergence a legitimate outcome.
 	MaxSteps int
 	// TightFactor is the §1.2 tightness threshold: a trial is counted
 	// tight when Steps ≤ TightFactor · CongestionBound (≤0: 2).
 	TightFactor float64
+
+	// Fault injects link faults into every trial; the zero value is the
+	// healthy network and leaves the trial byte-identical to a run
+	// without any fault model. Fault must validate (see
+	// FaultOptions.Validate) — surface layers reject bad values first, so
+	// an invalid value here panics.
+	Fault FaultOptions
+	// Switching selects the switch discipline (default store-and-forward).
+	Switching Switching
 
 	// Ctx cancels the run: in-flight trials stop mid-simulation and are
 	// discarded; the aggregate covers only the trials that completed
@@ -100,8 +160,25 @@ type TrialStats struct {
 	Requested int  `json:"requested"`
 	Cancelled bool `json:"cancelled,omitempty"`
 
+	// ExhaustedTrials counts trials that hit the step limit without
+	// finishing. They are excluded from every other aggregate (their
+	// steps and counters are partial), so Trials covers only trials that
+	// ran to completion: Trials + ExhaustedTrials ≤ Requested.
+	ExhaustedTrials int `json:"exhausted_trials,omitempty"`
+
 	TotalPackets int64   `json:"total_packets"`
 	MeanPackets  float64 `json:"mean_packets"`
+
+	// Fault-model aggregates over the completed trials. DeliveredRate is
+	// TotalDelivered/TotalPackets — 1 on a healthy network; the
+	// degradation a fault scenario buys is read directly off it.
+	TotalDelivered   int64   `json:"total_delivered"`
+	TotalDropped     int64   `json:"total_dropped,omitempty"`
+	TotalRetransmits int64   `json:"total_retransmits,omitempty"`
+	DeliveredRate    float64 `json:"delivered_rate"`
+	MeanDropped      float64 `json:"mean_dropped,omitempty"`
+	MeanRetransmits  float64 `json:"mean_retransmits,omitempty"`
+	MeanDeadLinks    float64 `json:"mean_dead_links,omitempty"`
 
 	MinSteps  int     `json:"min_steps"`
 	MaxSteps  int     `json:"max_steps"`
@@ -151,17 +228,8 @@ func TrialSeed(base int64, trial int) int64 {
 // allocates nothing per trial; results land in a per-trial slice indexed
 // by trial number, so the aggregate is byte-identical at any worker count.
 func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyOptions) TrialStats {
-	switch kind {
-	case RandomDestinations, RandomPermutations:
-		if b.Wraparound() {
-			panic("route: simulator targets Bn")
-		}
-	case WrappedRandomDestinations:
-		if !b.Wraparound() {
-			panic("route: wrapped simulator targets Wn")
-		}
-	default:
-		panic(fmt.Sprintf("route: unknown trial kind %d", int(kind)))
+	if err := checkKindTopology(kind, b); err != nil {
+		panic(err.Error())
 	}
 	trials := opt.Trials
 	if trials <= 0 {
@@ -214,6 +282,7 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 			st := getState(b)
 			defer putState(st)
 			st.setCut(ref)
+			st.setScenario(opt.Fault, opt.Switching)
 			for {
 				if mon.Stopped() {
 					return
@@ -223,14 +292,8 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 					return
 				}
 				seed := TrialSeed(opt.Seed, t)
-				switch kind {
-				case RandomDestinations:
-					st.compileRandomDestinations(seed)
-				case WrappedRandomDestinations:
-					st.compileRandomDestinationsWrapped(seed)
-				case RandomPermutations:
-					st.compileRandomPermutation(seed)
-				}
+				st.compileKind(kind, seed)
+				st.seedFaults(seed)
 				res, ok := st.runMonitored(maxSteps, mon)
 				if !ok {
 					metricTrialsDiscarded.Inc()
@@ -238,9 +301,13 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 				}
 				results[t] = res
 				completed[t] = true
-				metricTrialsCompleted.Inc()
-				metricTrialSteps.Observe(int64(res.Steps))
-				metricTrialMaxQueue.Observe(int64(res.MaxQueue))
+				if res.Exhausted {
+					metricTrialsExhausted.Inc()
+				} else {
+					metricTrialsCompleted.Inc()
+					metricTrialSteps.Observe(int64(res.Steps))
+					metricTrialMaxQueue.Observe(int64(res.MaxQueue))
+				}
 				if mon.Tracing() {
 					mon.TraceEvent("trial", obs.Attrs{
 						"trial":     t,
@@ -249,6 +316,9 @@ func SimulateMany(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, opt ManyO
 						"bound":     res.CongestionBound,
 						"max_queue": res.MaxQueue,
 						"crossings": res.CutCrossings,
+						"delivered": res.Delivered,
+						"dropped":   res.Dropped,
+						"exhausted": res.Exhausted,
 					})
 				}
 				mon.Tick(1, 0)
@@ -273,10 +343,18 @@ func aggregateTrials(results []SimResult, completed []bool, tight float64, reque
 		MaxQueueHist: make(map[int]int),
 	}
 	var sumSteps, sumCross, sumBound, sumQueue int64
+	var sumDead int64
 	var sumRatio float64
 	ratios := 0
 	for i, r := range results {
 		if !completed[i] {
+			continue
+		}
+		if r.Exhausted {
+			// Step-limited trials carry partial counters; counting them
+			// into the aggregates would skew every mean, so they are only
+			// tallied here.
+			s.ExhaustedTrials++
 			continue
 		}
 		if s.Trials == 0 {
@@ -285,6 +363,10 @@ func aggregateTrials(results []SimResult, completed []bool, tight float64, reque
 		}
 		s.Trials++
 		s.TotalPackets += int64(r.Packets)
+		s.TotalDelivered += int64(r.Delivered)
+		s.TotalDropped += int64(r.Dropped)
+		s.TotalRetransmits += int64(r.Retransmits)
+		sumDead += int64(r.DeadLinks)
 		sumSteps += int64(r.Steps)
 		sumCross += int64(r.CutCrossings)
 		sumBound += int64(r.CongestionBound)
@@ -327,6 +409,12 @@ func aggregateTrials(results []SimResult, completed []bool, tight float64, reque
 		s.MeanCrossings = float64(sumCross) / n
 		s.MeanBound = float64(sumBound) / n
 		s.MeanMaxQueue = float64(sumQueue) / n
+		s.MeanDropped = float64(s.TotalDropped) / n
+		s.MeanRetransmits = float64(s.TotalRetransmits) / n
+		s.MeanDeadLinks = float64(sumDead) / n
+	}
+	if s.TotalPackets > 0 {
+		s.DeliveredRate = float64(s.TotalDelivered) / float64(s.TotalPackets)
 	}
 	if ratios > 0 {
 		s.MeanRatio = sumRatio / float64(ratios)

@@ -6,10 +6,10 @@ package route
 // the two result for result and measure the speedup.
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
+	"repro/internal/bitutil"
 	"repro/internal/cut"
 	"repro/internal/topology"
 )
@@ -19,7 +19,8 @@ type SimResult struct {
 	// Packets is the number of packets routed (one per network node).
 	Packets int
 	// Steps is the simulated completion time: each directed edge forwards
-	// at most one packet per step.
+	// at most one packet per step. For an Exhausted run it is the step
+	// limit the run hit.
 	Steps int
 	// CutCrossings counts packets whose route crosses the reference cut —
 	// the quantity whose expectation is N/4 per direction in §1.2.
@@ -30,6 +31,22 @@ type SimResult struct {
 	CongestionBound int
 	// MaxQueue is the largest per-edge queue observed.
 	MaxQueue int
+	// Delivered counts packets that reached their destination; on a
+	// healthy network Delivered == Packets.
+	Delivered int
+	// Dropped counts packets lost to a dead link or an exhausted
+	// retransmission budget. Delivered + Dropped == Packets unless the
+	// run was Exhausted (some packets then remain in flight).
+	Dropped int
+	// Retransmits counts failed transmission attempts across all packets.
+	Retransmits int
+	// DeadLinks is the number of directed links the trial's fault plan
+	// declared permanently dead.
+	DeadLinks int
+	// Exhausted marks a run that hit the step limit without finishing —
+	// reachable under heavy drop rates with an unbounded retransmission
+	// budget. Exhausted runs report the partial counters observed so far.
+	Exhausted bool
 }
 
 // SimulateRandomDestinationsReference is the map-based reference
@@ -62,25 +79,13 @@ func SimulateRandomDestinationsWrappedReference(w *topology.Butterfly, ref *cut.
 	}
 	rng := rand.New(rand.NewSource(seed))
 	n := w.N()
-	d := w.Dim()
 	paths := make([][]int, 0, n)
 	for v := 0; v < n; v++ {
 		dst := rng.Intn(n)
 		if dst == v {
 			continue
 		}
-		wu, iu := w.Column(v), w.Level(v)
-		wv, iv := w.Column(dst), w.Level(dst)
-		path := make([]int, 0, iu+d+(d-iv)+1)
-		for l := iu; l >= 0; l-- {
-			path = append(path, w.Node(wu, l))
-		}
-		mono := w.RotatedMonotonePath(wu, wv, 0)
-		path = append(path, mono[1:]...)
-		for l := d - 1; l >= iv; l-- {
-			path = append(path, w.Node(wv, l))
-		}
-		paths = append(paths, compressPath(path))
+		paths = append(paths, wrappedThreeLegPath(w, v, dst))
 	}
 	return simulateReference(w, ref, paths)
 }
@@ -129,11 +134,36 @@ func threeLegPath(b *topology.Butterfly, u, v int) []int {
 	return path
 }
 
+// dedge is the reference engine's directed-edge key: an ordered node
+// pair. Lexicographic (u,v) order over these keys is exactly the edge-id
+// order of the flat engine's dirIndex.
+type dedge struct{ u, v int32 }
+
+// popQueue removes the head of key's queue, deleting drained queues so
+// map emptiness keeps meaning "edge idle".
+func popQueue(queues map[dedge][]int32, key dedge) {
+	q := queues[key]
+	queues[key] = q[1:]
+	if len(q) == 1 {
+		delete(queues, key)
+	}
+}
+
 // simulateReference runs the synchronous switch model until every packet
 // arrives, with per-edge queues keyed on a node-pair map and the busy
 // edges re-sorted every step. It is the semantic specification the flat
 // engine is cross-checked against.
 func simulateReference(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimResult {
+	return simulateReferenceScenario(b, ref, paths, 0, FaultOptions{}, StoreAndForward)
+}
+
+// simulateReferenceScenario is simulateReference with the full fault
+// model: lossy links with bounded retransmission, per-trial dead links,
+// and cut-through switching. It consumes the fault RNG in exactly the
+// order the flat engine does — dead links first in (u,v) lex order, then
+// one draw per transmission attempt in sorted move order — so lossy
+// cross-checks agree draw for draw.
+func simulateReferenceScenario(b *topology.Butterfly, ref *cut.Cut, paths [][]int, seed int64, f FaultOptions, sw Switching) SimResult {
 	res := SimResult{Packets: len(paths)}
 	if ref != nil {
 		for _, p := range paths {
@@ -149,22 +179,60 @@ func simulateReference(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimRe
 		}
 	}
 
-	// Directed edge id: node-pair key. Queues hold packet indices.
-	type dedge struct{ u, v int32 }
+	var faultRng *rand.Rand
+	dead := map[dedge]bool{}
+	if f.Enabled() {
+		faultRng = rand.New(rand.NewSource(faultSeed(seed)))
+		if f.DeadLinkProb > 0 {
+			// Enumerate distinct directed edges in (u,v) lex order — the
+			// same enumeration buildDirIndex assigns ids in — drawing one
+			// decision per edge, so both engines consume identical streams.
+			g := b.Graph
+			nbr := make([]int32, 0, 8)
+			for u := 0; u < g.N(); u++ {
+				nbr = append(nbr[:0], g.Neighbors(u)...)
+				sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+				for i, v := range nbr {
+					if i > 0 && v == nbr[i-1] {
+						continue // parallel edge: one id per node pair
+					}
+					if faultRng.Float64() < f.DeadLinkProb {
+						dead[dedge{int32(u), v}] = true
+						res.DeadLinks++
+					}
+				}
+			}
+		}
+	}
+	drops := f.DropProb > 0
+
 	queues := make(map[dedge][]int32)
-	pos := make([]int, len(paths)) // index into each path
+	pos := make([]int, len(paths))   // index into each path
+	retry := make([]int, len(paths)) // failed attempts per packet
+	stamp := make(map[dedge]int)     // step of an edge's last traversal
 	remaining := 0
-	enqueue := func(pk int) {
+	// edgeAt returns the edge packet pk is about to traverse, or ok=false
+	// when the packet is at its destination.
+	edgeAt := func(pk int32) (dedge, bool) {
 		p := paths[pk]
 		i := pos[pk]
 		if i+1 < len(p) {
-			key := dedge{int32(p[i]), int32(p[i+1])}
-			queues[key] = append(queues[key], int32(pk))
-			remaining++
+			return dedge{int32(p[i]), int32(p[i+1])}, true
 		}
+		return dedge{}, false
 	}
 	for pk := range paths {
-		enqueue(pk)
+		key, ok := edgeAt(int32(pk))
+		if !ok {
+			res.Delivered++ // zero-edge route: already home
+			continue
+		}
+		if dead[key] {
+			res.Dropped++ // injected straight into a dead link
+			continue
+		}
+		queues[key] = append(queues[key], int32(pk))
+		remaining++
 	}
 
 	maxSteps := defaultMaxSteps(b)
@@ -172,7 +240,9 @@ func simulateReference(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimRe
 		step++
 		res.Steps = step
 		if step > maxSteps {
-			panic(fmt.Sprintf("route: simulation did not converge within the %d-step limit", maxSteps))
+			res.Steps = maxSteps
+			res.Exhausted = true
+			return res
 		}
 		type move struct {
 			pk  int32
@@ -197,15 +267,163 @@ func simulateReference(b *topology.Butterfly, ref *cut.Cut, paths [][]int) SimRe
 			return moves[i].key.v < moves[j].key.v
 		})
 		for _, mv := range moves {
-			q := queues[mv.key]
-			queues[mv.key] = q[1:]
-			if len(q) == 1 {
-				delete(queues, mv.key)
+			if drops && faultRng.Float64() < f.DropProb {
+				res.Retransmits++
+				retry[mv.pk]++
+				if f.MaxRetransmits > 0 && retry[mv.pk] >= f.MaxRetransmits {
+					popQueue(queues, mv.key)
+					remaining--
+					res.Dropped++
+				}
+				continue
 			}
+			popQueue(queues, mv.key)
 			remaining--
+			if sw == CutThrough {
+				stamp[mv.key] = step
+			}
 			pos[mv.pk]++
-			enqueue(int(mv.pk))
+			key, more := edgeAt(mv.pk)
+			if !more {
+				res.Delivered++
+				continue
+			}
+			if dead[key] {
+				res.Dropped++
+				continue
+			}
+			if sw == CutThrough {
+				consumed := false
+				for len(queues[key]) == 0 && stamp[key] != step {
+					if drops && faultRng.Float64() < f.DropProb {
+						res.Retransmits++
+						retry[mv.pk]++
+						if f.MaxRetransmits > 0 && retry[mv.pk] >= f.MaxRetransmits {
+							res.Dropped++
+							consumed = true
+						}
+						break // stall (or die) on this edge
+					}
+					stamp[key] = step
+					pos[mv.pk]++
+					next, ok := edgeAt(mv.pk)
+					if !ok {
+						res.Delivered++
+						consumed = true
+						break
+					}
+					if dead[next] {
+						res.Dropped++
+						consumed = true
+						break
+					}
+					key = next
+				}
+				if consumed {
+					continue
+				}
+			}
+			queues[key] = append(queues[key], mv.pk)
+			remaining++
 		}
 	}
 	return res
+}
+
+// referencePaths compiles one trial's routes of kind on the reference
+// slice-of-nodes representation, consuming the destination RNG in the
+// same order as the flat engine's compileKind — equal seeds give the
+// same traffic in both engines.
+func referencePaths(b *topology.Butterfly, kind TrialKind, seed int64) [][]int {
+	switch kind {
+	case RandomDestinations:
+		rng := rand.New(rand.NewSource(seed))
+		n := b.N()
+		paths := make([][]int, 0, n)
+		for v := 0; v < n; v++ {
+			dst := rng.Intn(n)
+			if dst == v {
+				continue
+			}
+			paths = append(paths, threeLegPath(b, v, dst))
+		}
+		return paths
+	case WrappedRandomDestinations:
+		rng := rand.New(rand.NewSource(seed))
+		n := b.N()
+		paths := make([][]int, 0, n)
+		for v := 0; v < n; v++ {
+			dst := rng.Intn(n)
+			if dst == v {
+				continue
+			}
+			paths = append(paths, wrappedThreeLegPath(b, v, dst))
+		}
+		return paths
+	case RandomPermutations:
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(b.Inputs())
+		paths := make([][]int, len(perm))
+		for w := range paths {
+			paths[w] = b.MonotonePath(w, perm[w])
+		}
+		return paths
+	case HotSpotDestinations:
+		rng := rand.New(rand.NewSource(seed))
+		n := b.N()
+		hot := rng.Intn(n)
+		paths := make([][]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v == hot {
+				continue
+			}
+			paths = append(paths, threeLegPath(b, v, hot))
+		}
+		return paths
+	case BitReversalDestinations:
+		d := b.Dim()
+		paths := make([][]int, 0, b.N())
+		for v := 0; v < b.N(); v++ {
+			w, l := b.Column(v), b.Level(v)
+			rw := bitutil.Reverse(w, d)
+			if rw == w {
+				continue // a fixed column maps to itself: no packet
+			}
+			paths = append(paths, threeLegPath(b, v, b.Node(rw, l)))
+		}
+		return paths
+	}
+	panic("route: unknown trial kind")
+}
+
+// wrappedThreeLegPath is the Wn route of the Theorem 4.3 shape: up the
+// source column to level 0, the rotated monotone path, down to the
+// destination.
+func wrappedThreeLegPath(w *topology.Butterfly, v, dst int) []int {
+	d := w.Dim()
+	wu, iu := w.Column(v), w.Level(v)
+	wv, iv := w.Column(dst), w.Level(dst)
+	path := make([]int, 0, iu+d+(d-iv)+1)
+	for l := iu; l >= 0; l-- {
+		path = append(path, w.Node(wu, l))
+	}
+	mono := w.RotatedMonotonePath(wu, wv, 0)
+	path = append(path, mono[1:]...)
+	for l := d - 1; l >= iv; l-- {
+		path = append(path, w.Node(wv, l))
+	}
+	return compressPath(path)
+}
+
+// SimulateScenarioReference is the map-based oracle for SimulateScenario:
+// same traffic kinds, same fault model, same switching disciplines, same
+// RNG streams — field-for-field equal results on every seed.
+func SimulateScenarioReference(b *topology.Butterfly, ref *cut.Cut, kind TrialKind, seed int64, f FaultOptions, sw Switching) (SimResult, error) {
+	if err := checkKindTopology(kind, b); err != nil {
+		return SimResult{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	return simulateReferenceScenario(b, ref, referencePaths(b, kind, seed), seed, f, sw), nil
 }

@@ -13,6 +13,7 @@ var (
 	metricCacheHits      = obs.NewCounter("serve.cache_hits")
 	metricCacheMisses    = obs.NewCounter("serve.cache_misses")
 	metricCacheEvictions = obs.NewCounter("serve.cache_evictions")
+	metricCacheOversized = obs.NewCounter("serve.cache_oversized")
 	metricCacheSize      = obs.NewGauge("serve.cache_size")
 	metricCacheBytes     = obs.NewGauge("serve.cache_bytes")
 )
@@ -79,9 +80,34 @@ func (c *lruCache) get(key string) (*response, bool) {
 // and promotes it. Evicted entries are handed to onEvict after the lock
 // is released (the spill path writes to disk; that never belongs under a
 // cache mutex).
+//
+// An entry larger than the whole byte budget never becomes resident: it
+// spills straight to onEvict and the current residents stay put. (The
+// naive path would admit it and then evict from the LRU front until the
+// budget held — emptying the entire cache, oversized entry included, so
+// one 2^20-row manifest would purge every hot entry and still not be
+// cached.)
 func (c *lruCache) put(key string, resp *response) {
 	var spilled []*lruEntry
 	c.mu.Lock()
+	if int64(len(key)+len(resp.body)) > c.maxBytes {
+		if el, ok := c.m[key]; ok {
+			// A stale smaller resident under the same key would shadow
+			// the spilled copy on future gets; drop it.
+			entry := el.Value.(*lruEntry)
+			c.order.Remove(el)
+			delete(c.m, key)
+			c.bytes -= entry.size()
+		}
+		metricCacheOversized.Inc()
+		metricCacheSize.Set(int64(c.order.Len()))
+		metricCacheBytes.Set(c.bytes)
+		c.mu.Unlock()
+		if c.onEvict != nil {
+			c.onEvict(key, resp)
+		}
+		return
+	}
 	if el, ok := c.m[key]; ok {
 		entry := el.Value.(*lruEntry)
 		c.bytes -= entry.size()

@@ -76,18 +76,82 @@ func TestLRUCacheByteBound(t *testing.T) {
 		t.Fatalf("spilled = %v, want [a]", spilled)
 	}
 
-	// An entry bigger than the whole budget transits the cache without
-	// sticking (and spills like any other eviction): the bound holds even
-	// against a single oversized manifest.
+	// An entry bigger than the whole budget spills straight to the store
+	// and never becomes resident — the smaller residents survive. (The
+	// old behavior admitted it and then drained the LRU front until the
+	// budget held, purging every hot entry including the oversized one.)
 	c.put("huge", big(5000))
-	if c.len() != 0 {
-		t.Fatalf("len = %d after over-budget put, want 0", c.len())
+	if c.len() != 2 {
+		t.Fatalf("len = %d after over-budget put, want 2 (residents kept)", c.len())
 	}
-	if got := c.totalBytes(); got != 0 {
-		t.Fatalf("totalBytes = %d, want 0", got)
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("oversized put evicted resident b")
 	}
-	if want := []string{"a", "c", "b", "huge"}; len(spilled) != 4 || spilled[3] != "huge" {
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("oversized put evicted resident c")
+	}
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry became resident")
+	}
+	if want := []string{"a", "huge"}; len(spilled) != 2 || spilled[1] != "huge" {
 		t.Fatalf("spilled = %v, want %v", spilled, want)
+	}
+}
+
+// TestLRUCacheOversizedDoesNotEmptyCache is the regression test for the
+// eviction bug: one response exceeding maxBytes must leave every smaller
+// resident in place, reach the spill hook exactly once, and keep the
+// byte accounting intact.
+func TestLRUCacheOversizedDoesNotEmptyCache(t *testing.T) {
+	var spilled []string
+	c := newLRUCache(256, 1000, func(key string, resp *response) {
+		spilled = append(spilled, key)
+	})
+	body := func(n int) *response { return &response{body: make([]byte, n), complete: true} }
+	c.put("hot1", body(300))
+	c.put("hot2", body(300))
+	before := c.totalBytes()
+
+	c.put("manifest", body(4000))
+	if c.len() != 2 {
+		t.Fatalf("oversized put emptied the cache: len = %d, want 2", c.len())
+	}
+	if got := c.totalBytes(); got != before {
+		t.Fatalf("totalBytes = %d, want %d (unchanged)", got, before)
+	}
+	if len(spilled) != 1 || spilled[0] != "manifest" {
+		t.Fatalf("spilled = %v, want [manifest]", spilled)
+	}
+	for _, k := range []string{"hot1", "hot2"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("resident %q lost to an oversized put", k)
+		}
+	}
+}
+
+// TestLRUCacheOversizedReplacesStaleResident: if a smaller response was
+// resident under the key and a re-put grows past the budget, the stale
+// resident is dropped (a later get must fall through to the spilled
+// copy, not serve the outdated body).
+func TestLRUCacheOversizedReplacesStaleResident(t *testing.T) {
+	var spilled []string
+	c := newLRUCache(256, 1000, func(key string, resp *response) {
+		spilled = append(spilled, key)
+	})
+	c.put("k", &response{body: []byte("small"), complete: true})
+	c.put("other", &response{body: []byte("x"), complete: true})
+	c.put("k", &response{body: make([]byte, 4000), complete: true})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale small resident still served under the grown key")
+	}
+	if _, ok := c.get("other"); !ok {
+		t.Fatal("unrelated resident evicted")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if len(spilled) != 1 || spilled[0] != "k" {
+		t.Fatalf("spilled = %v, want [k]", spilled)
 	}
 }
 

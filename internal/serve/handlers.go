@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/route"
 )
 
 // queryRequest is one parsed, validated API request. Key is its canonical
@@ -111,6 +113,37 @@ func (q queryValues) deadline(def, max time.Duration) (time.Duration, error) {
 		d = max
 	}
 	return d, nil
+}
+
+// floatVal parses one float parameter.
+func (q queryValues) floatVal(name string, def float64) (float64, error) {
+	raw := q.str(name, "")
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// floatList parses a comma-separated float list ("0,0.05,0.1").
+func (q queryValues) floatList(name string, def []float64) ([]float64, error) {
+	raw := q.str(name, "")
+	if raw == "" {
+		return def, nil
+	}
+	parts := strings.Split(raw, ",")
+	vals := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q is not a number list", name, raw)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
 }
 
 // dimList parses a comma-separated dimension list ("1,2,3").
@@ -293,24 +326,32 @@ func (r *expansionRequest) Solve(ctx context.Context, s *Server) (*obs.Manifest,
 
 // ---- /v1/routing ----
 
-// routingRequest answers one E8 Monte-Carlo row: multi-trial routing on
-// Bn against the bisection-bound floor.
+// routingRequest answers E8 Monte-Carlo rows: multi-trial routing on Bn
+// against the bisection-bound floor, optionally under the fault model —
+// lossy links (drop accepts a comma-separated rate list, producing the
+// whole degradation curve in one query), bounded retransmission, dead
+// links, adversarial patterns, and cut-through switching.
 type routingRequest struct {
-	kind   string // "random" | "permutation"
-	n      int
-	trials int
-	seed   int64
+	kind        route.TrialKind
+	n           int
+	trials      int
+	seed        int64
+	drops       []float64
+	dead        float64
+	retransmits int
+	switching   route.Switching
 }
 
 func parseRoutingRequest(q queryValues) (queryRequest, error) {
-	if err := q.allow("kind", "n", "trials", "seed", "timeout"); err != nil {
+	if err := q.allow("kind", "n", "trials", "seed", "drop", "dead", "retransmits", "switching", "timeout"); err != nil {
 		return nil, err
 	}
-	r := &routingRequest{kind: q.str("kind", "random")}
-	if r.kind != "random" && r.kind != "permutation" {
-		return nil, fmt.Errorf("kind: want random or permutation (got %q)", r.kind)
+	r := &routingRequest{}
+	kind, err := route.ParseTrialKind(q.str("kind", "random"))
+	if err != nil || kind == route.WrappedRandomDestinations {
+		return nil, fmt.Errorf("kind: want random, permutation, hotspot or bitreversal (got %q)", q.str("kind", "random"))
 	}
-	var err error
+	r.kind = kind
 	if r.n, err = q.intVal("n", 0); err != nil {
 		return nil, err
 	}
@@ -326,24 +367,77 @@ func parseRoutingRequest(q queryValues) (queryRequest, error) {
 	if r.seed, err = q.int64Val("seed", 1); err != nil {
 		return nil, err
 	}
+	if r.drops, err = q.floatList("drop", []float64{0}); err != nil {
+		return nil, err
+	}
+	if len(r.drops) > 16 {
+		return nil, fmt.Errorf("drop: at most 16 rates per sweep (got %d)", len(r.drops))
+	}
+	if r.dead, err = q.floatVal("dead", 0); err != nil {
+		return nil, err
+	}
+	if r.retransmits, err = q.intVal("retransmits", 0); err != nil {
+		return nil, err
+	}
+	sw, err := route.ParseSwitching(q.str("switching", "sf"))
+	if err != nil {
+		return nil, err
+	}
+	r.switching = sw
+	for _, p := range r.drops {
+		f := route.FaultOptions{DropProb: p, DeadLinkProb: r.dead, MaxRetransmits: r.retransmits}
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
+// faulty reports whether the request leaves the healthy single-row path:
+// any fault knob set, a drop sweep, or a non-default switch discipline.
+func (r *routingRequest) faulty() bool {
+	return len(r.drops) > 1 || r.drops[0] > 0 || r.dead > 0 ||
+		r.retransmits > 0 || r.switching != route.StoreAndForward
+}
+
 func (r *routingRequest) Key() string {
-	return fmt.Sprintf("kind=%s&n=%d&trials=%d&seed=%d", r.kind, r.n, r.trials, r.seed)
+	drops := make([]string, len(r.drops))
+	for i, p := range r.drops {
+		drops[i] = strconv.FormatFloat(p, 'g', -1, 64)
+	}
+	return fmt.Sprintf("kind=%s&n=%d&trials=%d&seed=%d&drop=%s&dead=%s&retransmits=%d&switching=%s",
+		r.kind.Slug(), r.n, r.trials, r.seed, strings.Join(drops, ","),
+		strconv.FormatFloat(r.dead, 'g', -1, 64), r.retransmits, r.switching.Slug())
 }
 
 func (r *routingRequest) Solve(ctx context.Context, s *Server) (*obs.Manifest, error) {
-	opt := core.RoutingOptions{Trials: r.trials, Ctx: ctx, Trace: s.cfg.Trace}
-	var rep core.RoutingReport
-	if r.kind == "random" {
-		rep = core.RandomRoutingExperiment(r.n, r.seed, opt)
-	} else {
-		rep = core.PermutationRoutingExperiment(r.n, r.seed, opt)
+	opt := core.RoutingOptions{
+		Trials: r.trials, Ctx: ctx, Trace: s.cfg.Trace,
+		Fault:     route.FaultOptions{DeadLinkProb: r.dead, MaxRetransmits: r.retransmits},
+		Switching: r.switching,
+	}
+	rows := core.RoutingDegradation(r.n, r.seed, r.kind, r.drops, opt)
+	converged, exhausted := 0, 0
+	for _, rep := range rows {
+		converged += rep.Stats.Trials
+		exhausted += rep.Stats.ExhaustedTrials
+	}
+	if converged == 0 && exhausted > 0 {
+		// Every requested trial hit the step limit: there is no aggregate
+		// to serve. 422 — the parameters were valid but unprocessable at
+		// this fault intensity; a panic here used to kill the daemon.
+		return nil, &httpError{http.StatusUnprocessableEntity,
+			fmt.Sprintf("all %d trials exhausted the %s step limit; lower drop or bound retransmits", exhausted, "64·N")}
 	}
 	m := obs.NewManifest("butterflyd")
 	m.Seed = r.seed
-	m.AddTable("routing."+r.kind, "E8: routing vs bisection bound (§1.2)", []core.RoutingReport{rep})
+	table := "routing." + r.kind.Slug()
+	title := "E8: routing vs bisection bound (§1.2)"
+	if r.faulty() {
+		table = "routing.faults"
+		title = "E8: routing under faults (§1.2 degradation)"
+	}
+	m.AddTable(table, title, rows)
 	return m, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -473,10 +474,34 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := errorStatus(err)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(err)))
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds derives the Retry-After hint from the admission
+// configuration instead of a hard-coded 1s: a 429 means the queue is
+// full, so a slot opens within about one queue-wait; a queue-wait 503
+// means the server was saturated for a full QueueWait already, so back
+// off twice that; a draining server is going away — the longer hint
+// steers clients to a healthy peer instead of hammering the corpse.
+func (s *Server) retryAfterSeconds(err error) int {
+	wait := s.cfg.QueueWait
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	switch err {
+	case errQueueFull:
+		return secs
+	case errQueueWait, errDraining:
+		return 2 * secs
+	}
+	if s.draining.Load() {
+		return 2 * secs
+	}
+	return secs
 }
 
 func errorStatus(err error) int {
