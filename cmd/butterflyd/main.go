@@ -19,6 +19,14 @@
 //	/v1/report[?quick=true][&seed=1]
 //	/healthz          200 while serving, 503 while draining
 //	/debug/metrics    live metrics registry (cache, latency, solver)
+//	/debug/statusz    uptime, build/config, occupancy, latency quantiles
+//
+// Every query response carries an X-Request-ID header (the client's own,
+// sanitized, or a generated one); the same ID labels the request's trace
+// spans and its -access-log line, so one slow request can be chased
+// across client, log and trace. With -access-log PATH the daemon appends
+// one JSON line per query request (id, endpoint, status, outcome, cache
+// source, latency µs, bytes) to PATH; "-" means stderr.
 //
 // The /v1/routing fault parameters drive the seeded lossy-link model:
 // drop is the per-transmission loss probability (a comma-separated list
@@ -53,7 +61,7 @@
 //	           [-queue-wait 2s] [-default-timeout 10s] [-max-timeout 60s]
 //	           [-cache 256] [-cache-bytes 67108864] [-drain 30s]
 //	           [-store dir] [-precompute grid] [-precompute-workers 0]
-//	           [-trace path] [-pprof addr]
+//	           [-trace path] [-access-log path] [-pprof addr]
 package main
 
 import (
@@ -61,6 +69,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -91,6 +100,7 @@ func main() {
 	precompute := flag.String("precompute", "", "batch-fill the store for this grid (network:loglo-loghi[:exact-nodes],...) and exit")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "parallel solves during -precompute (0 = GOMAXPROCS)")
 	tracePath := flag.String("trace", "", "write request and solver trace events (JSONL) to this path")
+	accessLogPath := flag.String("access-log", "", "append one JSON line per query request to this path (\"-\" = stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + /debug/metrics on this extra address")
 	flag.Parse()
 
@@ -115,6 +125,22 @@ func main() {
 		}
 		traceFile = f
 		tracer = obs.NewTracer(f)
+	}
+
+	// The access log appends (a restarted daemon keeps the history) and
+	// tolerates "-" for stderr, handy under systemd-style capture.
+	var accessLog io.Writer
+	var accessFile *os.File
+	if *accessLogPath == "-" {
+		accessLog = os.Stderr
+	} else if *accessLogPath != "" {
+		f, err := os.OpenFile(*accessLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -access-log: %v\n", err)
+			os.Exit(1)
+		}
+		accessFile = f
+		accessLog = f
 	}
 
 	cli.StartPprof(*pprofAddr)
@@ -151,6 +177,7 @@ func main() {
 		CacheBytes:      *cacheBytes,
 		Store:           st,
 		Trace:           tracer,
+		AccessLog:       accessLog,
 	})
 
 	if *precompute != "" {
@@ -213,6 +240,14 @@ func main() {
 		}
 		if err := traceFile.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflyd: -trace: %v\n", err)
+		}
+	}
+	if err := srv.AccessLogErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "butterflyd: -access-log: %v\n", err)
+	}
+	if accessFile != nil {
+		if err := accessFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -access-log: %v\n", err)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "butterflyd: drained cleanly")

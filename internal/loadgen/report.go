@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// configRow pins what was asked for — the workload half of the report.
+type configRow struct {
+	BaseURL    string  `json:"base_url"`
+	Mix        string  `json:"mix"`
+	Seed       int64   `json:"seed"`
+	OfferedQPS float64 `json:"offered_qps"`
+	DurationMS float64 `json:"duration_ms"`
+	Planned    int     `json:"planned_requests"`
+	TimeoutMS  float64 `json:"timeout_ms"`
+}
+
+// qpsRow is the schedule outcome: what rate was actually sustained and
+// whether the generator itself kept up (a bench whose own dispatch lagged
+// is reporting client saturation, not server latency — BehindSchedule
+// makes that explicit instead of silently blaming the server).
+type qpsRow struct {
+	OfferedQPS     float64 `json:"offered_qps"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	Planned        int     `json:"planned"`
+	Completed      int     `json:"completed"`
+	BehindSchedule int     `json:"behind_schedule"`
+	MaxLagUS       int64   `json:"max_lag_us"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	ErrorRate      float64 `json:"error_rate"`
+}
+
+// latencyRow is one latency distribution (overall or one outcome class),
+// quantiles interpolated from the µs histogram and clamped to the exact
+// observed max.
+type latencyRow struct {
+	Class  string  `json:"class"`
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+func latencyRowFrom(class string, snap obs.HistogramSnapshot) latencyRow {
+	mean := 0.0
+	if snap.Count > 0 {
+		mean = float64(snap.Sum) / float64(snap.Count)
+	}
+	return latencyRow{
+		Class:  class,
+		Count:  snap.Count,
+		MeanUS: mean,
+		P50US:  snap.Quantile(0.50),
+		P95US:  snap.Quantile(0.95),
+		P99US:  snap.Quantile(0.99),
+		MaxUS:  snap.Max,
+	}
+}
+
+// outcomeRow is one outcome class count — the X-Cache hit/coalesced/
+// store-hit breakdown plus 429/503/422 rates the tentpole asks for.
+type outcomeRow struct {
+	Outcome string  `json:"outcome"`
+	Count   int64   `json:"count"`
+	Rate    float64 `json:"rate"`
+}
+
+// serverRow is one server-side metric bracketing the run. Delta is
+// after−before — meaningful for counters, a drift indicator for gauges.
+type serverRow struct {
+	Name   string  `json:"name"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	Delta  float64 `json:"delta"`
+}
+
+// serverMetricPrefixes picks which scraped series enter the report: the
+// serving layer, the persistent store, the solver counters and the
+// runtime gauges (GC correlation).
+var serverMetricPrefixes = []string{"serve.", "store.", "solve.", "runtime."}
+
+func serverRows(before, after map[string]interface{}) []serverRow {
+	if after == nil {
+		return nil
+	}
+	num := func(m map[string]interface{}, k string) (float64, bool) {
+		if m == nil {
+			return 0, false
+		}
+		v, ok := m[k].(float64) // encoding/json decodes numbers as float64
+		return v, ok
+	}
+	names := make([]string, 0, len(after))
+	for name := range after {
+		for _, p := range serverMetricPrefixes {
+			if strings.HasPrefix(name, p) {
+				names = append(names, name)
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	rows := make([]serverRow, 0, len(names))
+	for _, name := range names {
+		a, ok := num(after, name)
+		if !ok {
+			continue // histograms: their snapshot objects don't delta
+		}
+		b, _ := num(before, name)
+		rows = append(rows, serverRow{Name: name, Before: b, After: a, Delta: a - b})
+	}
+	return rows
+}
+
+// BuildReport assembles the versioned run-manifest document for one
+// finished bench: config, schedule, latency distributions (overall +
+// per outcome class), outcome counts, SLO verdicts, and the server-side
+// metric deltas. The caller stamps GeneratedAt/Env (golden tests want
+// the byte-stable core).
+func BuildReport(opt Options, res *Result, slos []SLOResult) *obs.Manifest {
+	opt = opt.withDefaults()
+	m := obs.NewManifest("butterflybench")
+	m.Seed = opt.Seed
+	m.AddTable("bench.config", "load harness configuration", []configRow{{
+		BaseURL:    opt.BaseURL,
+		Mix:        string(opt.Profile),
+		Seed:       opt.Seed,
+		OfferedQPS: opt.QPS,
+		DurationMS: float64(opt.Duration) / float64(time.Millisecond),
+		Planned:    res.Planned,
+		TimeoutMS:  float64(opt.Timeout) / float64(time.Millisecond),
+	}})
+	m.AddTable("bench.qps", "offered vs achieved schedule", []qpsRow{{
+		OfferedQPS:     res.OfferedQPS,
+		AchievedQPS:    res.AchievedQPS,
+		Planned:        res.Planned,
+		Completed:      res.Completed,
+		BehindSchedule: res.BehindSchedule,
+		MaxLagUS:       res.MaxLagUS,
+		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
+		ErrorRate:      res.ErrorRate(),
+	}})
+	lat := []latencyRow{latencyRowFrom("overall", res.Overall)}
+	for _, class := range res.OutcomeClassesPresent() {
+		if snap, ok := res.PerOutcome[class]; ok {
+			lat = append(lat, latencyRowFrom(class, snap))
+		}
+	}
+	m.AddTable("bench.latency", "client-side latency (µs)", lat)
+	outs := make([]outcomeRow, 0, len(res.Outcomes))
+	for _, class := range res.OutcomeClassesPresent() {
+		rate := 0.0
+		if res.Completed > 0 {
+			rate = float64(res.Outcomes[class]) / float64(res.Completed)
+		}
+		outs = append(outs, outcomeRow{Outcome: class, Count: res.Outcomes[class], Rate: rate})
+	}
+	m.AddTable("bench.outcomes", "X-Cache / status breakdown", outs)
+	if slos == nil {
+		slos = []SLOResult{}
+	}
+	m.AddTable("bench.slo", "SLO evaluation", slos)
+	if rows := serverRows(res.MetricsBefore, res.MetricsAfter); rows != nil {
+		m.AddTable("bench.server", "server-side metric deltas over the run", rows)
+	}
+	return m
+}

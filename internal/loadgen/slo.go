@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one declared service-level objective the finished run is
+// judged against. Latency objectives (p50/p90/p95/p99/max/mean) carry a
+// µs bound; rate objectives carry a percentage — errors is a maximum
+// (error outcomes / completed), achieved a minimum (achieved/offered
+// QPS).
+type SLO struct {
+	Name      string
+	LatencyUS int64
+	Percent   float64
+}
+
+// latencySLOs maps objective name → quantile (mean and max are special-
+// cased in Evaluate).
+var latencySLOs = map[string]float64{
+	"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99,
+}
+
+// ParseSLOs parses a -slo declaration: comma-separated name=value pairs,
+// latency values in Go duration syntax, rates as percentages.
+//
+//	p99=50ms,errors=1%
+//	p50=2ms,p99=80ms,errors=0.5%,achieved=90%
+func ParseSLOs(spec string) ([]SLO, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("slo: %q is not name=value", part)
+		}
+		name, raw := strings.ToLower(kv[0]), kv[1]
+		switch {
+		case name == "errors" || name == "achieved":
+			if !strings.HasSuffix(raw, "%") {
+				return nil, fmt.Errorf("slo: %s wants a percentage (got %q)", name, raw)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(raw, "%"), 64)
+			if err != nil || pct < 0 || pct > 100 {
+				return nil, fmt.Errorf("slo: %s: %q is not a percentage in [0,100]", name, raw)
+			}
+			out = append(out, SLO{Name: name, Percent: pct})
+		case name == "max" || name == "mean" || latencySLOs[name] != 0:
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo: %s: %q is not a positive duration (want e.g. 50ms)", name, raw)
+			}
+			out = append(out, SLO{Name: name, LatencyUS: int64(d / time.Microsecond)})
+		default:
+			return nil, fmt.Errorf("slo: unknown objective %q (want p50/p90/p95/p99/max/mean/errors/achieved)", name)
+		}
+	}
+	return out, nil
+}
+
+// SLOResult is one evaluated objective — a row of the report's bench.slo
+// table. Threshold and Actual are human-formatted; the numeric fields
+// keep the table machine-checkable.
+type SLOResult struct {
+	Name      string  `json:"name"`
+	Threshold string  `json:"threshold"`
+	Actual    string  `json:"actual"`
+	Value     float64 `json:"value"`
+	Bound     float64 `json:"bound"`
+	Pass      bool    `json:"pass"`
+}
+
+// Evaluate judges the run against each objective. An empty SLO list
+// evaluates to an empty (vacuously passing) result set.
+func (r *Result) Evaluate(slos []SLO) []SLOResult {
+	out := make([]SLOResult, 0, len(slos))
+	for _, s := range slos {
+		res := SLOResult{Name: s.Name}
+		switch {
+		case s.Name == "errors":
+			rate := r.ErrorRate() * 100
+			res.Threshold = fmt.Sprintf("≤ %g%%", s.Percent)
+			res.Actual = fmt.Sprintf("%.3g%%", rate)
+			res.Value, res.Bound = rate, s.Percent
+			res.Pass = rate <= s.Percent
+		case s.Name == "achieved":
+			ratio := 0.0
+			if r.OfferedQPS > 0 {
+				ratio = r.AchievedQPS / r.OfferedQPS * 100
+			}
+			res.Threshold = fmt.Sprintf("≥ %g%%", s.Percent)
+			res.Actual = fmt.Sprintf("%.3g%%", ratio)
+			res.Value, res.Bound = ratio, s.Percent
+			res.Pass = ratio >= s.Percent
+		default:
+			var us float64
+			switch s.Name {
+			case "max":
+				us = float64(r.Overall.Max)
+			case "mean":
+				if r.Overall.Count > 0 {
+					us = float64(r.Overall.Sum) / float64(r.Overall.Count)
+				}
+			default:
+				us = r.Overall.Quantile(latencySLOs[s.Name])
+			}
+			res.Threshold = fmt.Sprintf("≤ %s", time.Duration(s.LatencyUS)*time.Microsecond)
+			res.Actual = (time.Duration(us) * time.Microsecond).Round(time.Microsecond).String()
+			res.Value, res.Bound = us, float64(s.LatencyUS)
+			res.Pass = us <= float64(s.LatencyUS)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// AllPass reports whether every evaluated objective held.
+func AllPass(results []SLOResult) bool {
+	for _, r := range results {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}

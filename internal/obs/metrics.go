@@ -140,22 +140,80 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution. Within the bucket holding the target rank the estimate
+// interpolates linearly across the bucket's [2^(i-1), 2^i) range, then
+// clamps to the exact observed Max — so p99 of a histogram whose largest
+// value was 37 is never "64". When every observation landed in a single
+// bucket the mean Sum/Count is the best (and, for constant data, exact)
+// estimate, so all quantiles of single-bucket data return it. An empty
+// histogram answers 0 for every quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if len(s.Buckets) == 1 {
+		mean := float64(s.Sum) / float64(s.Count)
+		if mean > float64(s.Max) {
+			mean = float64(s.Max)
+		}
+		return mean
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if rank <= next || b == s.Buckets[len(s.Buckets)-1] {
+			// Bucket bounds: Lt==1 holds only v==0, Lt≥2 holds [Lt/2, Lt).
+			lo, hi := float64(0), float64(0)
+			if b.Lt > 1 {
+				lo, hi = float64(b.Lt)/2, float64(b.Lt)
+			}
+			v := lo
+			if b.Count > 0 {
+				frac := (rank - cum) / float64(b.Count)
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+				v = lo + frac*(hi-lo)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
 // Registry is a named collection of metrics. Lookup is mutex-guarded and
 // intended for registration time only; the returned metric pointers are
 // the hot-path handles.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	refreshers map[string]func()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		refreshers: make(map[string]func()),
 	}
 }
 
@@ -209,10 +267,32 @@ func NewGauge(name string) *Gauge { return Default.Gauge(name) }
 // NewHistogram registers (or finds) a histogram on the Default registry.
 func NewHistogram(name string) *Histogram { return Default.Histogram(name) }
 
+// RegisterRefresher installs a named callback run at the start of every
+// Snapshot, before any value is read — the hook lazy gauges (runtime
+// stats, occupancy mirrors) use to be fresh exactly when observed.
+// Re-registering a name replaces its callback, so package-level wiring
+// that runs more than once (a test building several servers) stays
+// single-shot.
+func (r *Registry) RegisterRefresher(name string, f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refreshers[name] = f
+}
+
 // Snapshot returns every metric's current value keyed by name: int64 for
 // counters and gauges, HistogramSnapshot for histograms. The map
-// marshals with sorted keys, so two snapshots diff cleanly.
+// marshals with sorted keys, so two snapshots diff cleanly. Registered
+// refreshers run first (outside the lock — they may create metrics).
 func (r *Registry) Snapshot() map[string]interface{} {
+	r.mu.Lock()
+	fs := make([]func(), 0, len(r.refreshers))
+	for _, f := range r.refreshers {
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fs {
+		f()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]interface{}, len(r.counters)+len(r.gauges)+len(r.hists))

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty: an empty histogram answers 0 for every quantile
+// instead of NaN-ing or panicking — bench reports on a mix that produced
+// no observations of some outcome class must still render.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucketExact: constant observations land in one bucket
+// and every quantile must return the exact observed value, not a bucket
+// bound — the "~24µs responses collapsing into a bucket" failure mode,
+// inverted.
+func TestQuantileSingleBucketExact(t *testing.T) {
+	for _, v := range []int64{0, 1, 3, 24, 777, 1 << 40} {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("v=%d: %d buckets, want 1", v, len(s.Buckets))
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got := s.Quantile(q); got != float64(v) {
+				t.Fatalf("v=%d: Quantile(%g) = %g, want exactly %d", v, q, got, v)
+			}
+		}
+	}
+}
+
+// TestQuantileTwoPointMass: with observations in two known buckets the
+// quantiles must fall inside the correct bucket's range and stay clamped
+// to the observed max.
+func TestQuantileTwoPointMass(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket [8,16)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket [512,1024)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 8 || p50 >= 16 {
+		t.Fatalf("p50 = %g, want within [8,16)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 512 || p99 > 1000 {
+		t.Fatalf("p99 = %g, want within [512,1000] (clamped to max)", p99)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %g, want the exact max 1000", got)
+	}
+}
+
+// TestQuantileMonotoneFuzz: for seeded pseudo-random observation sets,
+// p50 ≤ p95 ≤ p99 ≤ max must hold — the property the bench report's
+// latency tables depend on.
+func TestQuantileMonotoneFuzz(t *testing.T) {
+	x := uint64(12345)
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < 200; trial++ {
+		var h Histogram
+		n := int(next()%500) + 1
+		shift := next() % 40
+		for i := 0; i < n; i++ {
+			h.Observe(int64(next() >> (24 + shift % 40)))
+		}
+		s := h.Snapshot()
+		prev := -1.0
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			v := s.Quantile(q)
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("trial %d: Quantile(%g) = %g", trial, q, v)
+			}
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %g < previous %g (not monotone)", trial, q, v, prev)
+			}
+			if v > float64(s.Max) {
+				t.Fatalf("trial %d: Quantile(%g) = %g beyond max %d", trial, q, v, s.Max)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestRuntimeGaugesRefreshOnSnapshot: registering the runtime gauges
+// makes every Snapshot carry fresh goroutine/heap/GC values.
+func TestRuntimeGaugesRefreshOnSnapshot(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	snap := r.Snapshot()
+	for _, name := range []string{"runtime.goroutines", "runtime.heap_bytes", "runtime.gc_pauses_total"} {
+		v, ok := snap[name].(int64)
+		if !ok {
+			t.Fatalf("snapshot missing %s: %v", name, snap[name])
+		}
+		if name != "runtime.gc_pauses_total" && v <= 0 {
+			t.Fatalf("%s = %d, want > 0", name, v)
+		}
+	}
+	// Re-registering must not duplicate the refresher (idempotent wiring).
+	RegisterRuntimeGauges(r)
+	r.mu.Lock()
+	n := len(r.refreshers)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d refreshers after double registration, want 1", n)
+	}
+}

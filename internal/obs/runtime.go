@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeGauges wires Go runtime health gauges into r, refreshed
+// on every Snapshot (and therefore on every /debug/metrics scrape and
+// every manifest metrics block):
+//
+//	runtime.goroutines      live goroutine count
+//	runtime.heap_bytes      bytes of live heap objects (MemStats.HeapAlloc)
+//	runtime.gc_pauses_total completed GC cycles since process start
+//
+// A serving benchmark scrapes these before and after a run, so a latency
+// spike in the client-side histograms can be read against "the heap grew
+// 400 MB and the collector ran 12 times" instead of guessed at.
+// Registration is idempotent per registry (the refresher is named).
+func RegisterRuntimeGauges(r *Registry) {
+	goroutines := r.Gauge("runtime.goroutines")
+	heap := r.Gauge("runtime.heap_bytes")
+	gcCycles := r.Gauge("runtime.gc_pauses_total")
+	r.RegisterRefresher("runtime", func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(int64(ms.HeapAlloc))
+		gcCycles.Set(int64(ms.NumGC))
+	})
+}

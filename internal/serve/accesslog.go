@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// accessRecord is one line of the structured access log: everything
+// needed to reconstruct a request's fate without the response body —
+// who asked what, which path answered it (cache, store, coalesced solve,
+// rejection), how long it took at µs resolution, and the request ID that
+// joins the line to its trace spans and to the client's own records.
+type accessRecord struct {
+	Time      string `json:"ts"`
+	ID        string `json:"id"`
+	Endpoint  string `json:"endpoint"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	Remote    string `json:"remote,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Status    int    `json:"status"`
+	Outcome   string `json:"outcome"`
+	Source    string `json:"source,omitempty"`
+	Complete  bool   `json:"complete"`
+	LatencyUS int64  `json:"latency_us"`
+	Bytes     int    `json:"bytes"`
+}
+
+// accessLogger serializes accessRecords as JSONL under a mutex, the same
+// discipline as obs.Tracer: one self-contained JSON object per line,
+// sticky sink errors, and total nil-safety — logging disabled is a nil
+// *accessLogger, not a branch at every call site.
+type accessLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// newAccessLogger wraps sink; a nil sink disables logging.
+func newAccessLogger(sink io.Writer) *accessLogger {
+	if sink == nil {
+		return nil
+	}
+	return &accessLogger{w: sink}
+}
+
+// log writes one record. Sink errors are sticky and stop emission:
+// access logging is an aid, never a reason to fail a request.
+func (l *accessLogger) log(rec accessRecord) {
+	if l == nil {
+		return
+	}
+	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := l.w.Write(data); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the sticky sink error, if any (for end-of-run reporting).
+func (l *accessLogger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

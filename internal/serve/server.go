@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -36,7 +37,6 @@ import (
 
 // Registry metrics of the request path.
 var (
-	metricRequests    = obs.NewCounter("serve.requests")
 	metricSolves      = obs.NewCounter("serve.solves")
 	metricErrors      = obs.NewCounter("serve.errors")
 	metricRejected429 = obs.NewCounter("serve.rejected_429")
@@ -45,6 +45,52 @@ var (
 	metricCacheSpills = obs.NewCounter("serve.cache_spills")
 	metricStoreFills  = obs.NewCounter("serve.store_fills")
 )
+
+// requestOutcomes are the outcome-labeled request counters
+// (serve.requests.<outcome>) that replaced the old undifferentiated
+// serve.requests — which incremented before method/parse validation, so
+// a flood of rejected garbage was indistinguishable from served load.
+// Every request increments exactly one of these, after its fate is known:
+//
+//	ok         solved fresh, complete, 200
+//	cache_hit  answered from the LRU
+//	store_hit  answered from the persistent store
+//	coalesced  attached to another request's in-flight solve
+//	timeout    200 but budget/drain-truncated (best-so-far rows)
+//	400/405/422/429/500/503  rejected or failed, by status
+var requestOutcomes = func() map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter)
+	for _, o := range []string{
+		"ok", "cache_hit", "store_hit", "coalesced", "timeout",
+		"400", "405", "422", "429", "500", "503",
+	} {
+		m[o] = obs.NewCounter("serve.requests." + o)
+	}
+	return m
+}()
+
+// classifyOutcome maps a finished request's (status, X-Cache source,
+// complete) triple onto its outcome label.
+func classifyOutcome(status int, source string, complete bool) string {
+	if status != http.StatusOK {
+		if _, ok := requestOutcomes[strconv.Itoa(status)]; ok {
+			return strconv.Itoa(status)
+		}
+		return "500"
+	}
+	if !complete {
+		return "timeout"
+	}
+	switch source {
+	case "hit":
+		return "cache_hit"
+	case "store-hit":
+		return "store_hit"
+	case "coalesced":
+		return "coalesced"
+	}
+	return "ok"
+}
 
 // Config tunes a Server. The zero value serves with GOMAXPROCS solve
 // workers, a 4×-deep wait queue, a 10s default / 60s maximum deadline and
@@ -75,6 +121,10 @@ type Config struct {
 	// Trace, when non-nil, receives one span per request plus the solver
 	// spans of the engines it runs.
 	Trace *obs.Tracer
+	// AccessLog, when non-nil, receives one structured JSONL record per
+	// /v1/* request: request ID, endpoint, canonical key, status, outcome,
+	// X-Cache source, µs latency and bytes written.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -125,7 +175,19 @@ type Server struct {
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
 
-	env obs.Environment
+	env       obs.Environment
+	startTime time.Time
+	accessLog *accessLogger
+
+	// latencies holds each endpoint's serve.latency_us histogram handle
+	// (written once at wiring time); /debug/statusz reads quantiles off
+	// them.
+	latencies map[string]*obs.Histogram
+
+	// Request-ID generation: a per-process base plus a sequence number,
+	// so IDs are unique across restarts without coordination.
+	idBase string
+	idSeq  atomic.Int64
 
 	// solveHook, when non-nil, is invoked by the coalescing leader after
 	// admission, before solving. Tests set it (before the server starts)
@@ -161,12 +223,19 @@ var (
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		flight: newFlightGroup(),
-		sem:    make(chan struct{}, cfg.MaxInflight),
-		env:    obs.CaptureEnvironment(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		flight:    newFlightGroup(),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		env:       obs.CaptureEnvironment(),
+		startTime: time.Now(),
+		accessLog: newAccessLogger(cfg.AccessLog),
+		latencies: make(map[string]*obs.Histogram),
+		idBase:    strconv.FormatUint(uint64(time.Now().UnixNano())&0xffffffffff, 36),
 	}
+	// Runtime health gauges refresh on every /debug/metrics scrape (and
+	// statusz), so bench reports can correlate tail latency with GC.
+	obs.RegisterRuntimeGauges(obs.Default)
 	// LRU evictions spill to the persistent store (when configured), so
 	// falling out of memory costs a future request one disk read, not one
 	// solve — and a restart loses nothing that was ever cached.
@@ -183,6 +252,7 @@ func New(cfg Config) *Server {
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/debug/metrics", obs.Default)
+	s.mux.HandleFunc("/debug/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/v1/bisection", s.handleQuery("bisection", parseBisectionRequest))
 	s.mux.HandleFunc("/v1/expansion", s.handleQuery("expansion", parseExpansionRequest))
 	s.mux.HandleFunc("/v1/routing", s.handleQuery("routing", parseRoutingRequest))
@@ -242,45 +312,108 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// requestID resolves the request's ID: a well-formed client-supplied
+// X-Request-ID is honored (echoed back, so callers can pre-correlate),
+// anything else gets a generated one. Either way the ID rides the
+// response header, the request's trace span and its access-log line.
+func (s *Server) requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {
+		return id
+	}
+	return s.idBase + "-" + strconv.FormatInt(s.idSeq.Add(1), 10)
+}
+
+// sanitizeRequestID accepts client IDs of 1–64 characters drawn from
+// [A-Za-z0-9._-]; anything else (log-injection vectors included) is
+// discarded in favor of a generated ID.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // handleQuery wraps one API endpoint: parse → cache → coalesce → admit →
-// solve under deadline → render, with the endpoint's latency histogram
-// and an optional trace span around the whole request.
+// solve under deadline → render. Around the whole request: the
+// endpoint's µs-resolution latency histogram, an outcome counter
+// incremented exactly once after the request's fate is known (never
+// before validation — a 400 flood must not read as served load), the
+// X-Request-ID header, an optional trace span and an access-log line.
 func (s *Server) handleQuery(name string, parse func(q queryValues) (queryRequest, error)) http.HandlerFunc {
-	latency := obs.NewHistogram("serve.latency_ms." + name)
+	latency := obs.NewHistogram("serve.latency_us." + name)
+	s.latencies[name] = latency
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		metricRequests.Inc()
 		metricInflight.Add(1)
 		defer metricInflight.Add(-1)
+
+		id := s.requestID(r)
+		w.Header().Set("X-Request-ID", id)
+
+		// The request's fate, filled in as it is decided; the deferred
+		// block turns it into the latency observation, the outcome counter
+		// and the access-log line.
+		status, source, complete := http.StatusOK, "miss", true
+		key, written := "", 0
 		defer func() {
-			latency.Observe(int64(time.Since(start) / time.Millisecond))
+			us := int64(time.Since(start) / time.Microsecond)
+			latency.Observe(us)
+			outcome := classifyOutcome(status, source, complete)
+			requestOutcomes[outcome].Inc()
+			s.accessLog.log(accessRecord{
+				ID:        id,
+				Endpoint:  name,
+				Method:    r.Method,
+				Path:      r.URL.RequestURI(),
+				Remote:    r.RemoteAddr,
+				Key:       key,
+				Status:    status,
+				Outcome:   outcome,
+				Source:    source,
+				Complete:  complete,
+				LatencyUS: us,
+				Bytes:     written,
+			})
 		}()
+		fail := func(err error) {
+			status = errorStatus(err)
+			s.writeError(w, err)
+		}
 
 		if r.Method != http.MethodGet {
-			s.writeError(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+			fail(&httpError{http.StatusMethodNotAllowed, "use GET"})
 			return
 		}
 		q := queryValues(r.URL.Query())
 		req, err := parse(q)
 		if err != nil {
-			s.writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+			fail(&httpError{http.StatusBadRequest, err.Error()})
 			return
 		}
 		deadline, err := q.deadline(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 		if err != nil {
-			s.writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+			fail(&httpError{http.StatusBadRequest, err.Error()})
 			return
 		}
-		key := name + "?" + req.Key()
+		key = name + "?" + req.Key()
 
-		span := s.cfg.Trace.StartSpan("request", obs.Attrs{"endpoint": name, "key": key})
-		status, source := http.StatusOK, "miss"
+		span := s.cfg.Trace.StartSpan("request", obs.Attrs{"endpoint": name, "key": key, "request_id": id})
 		defer func() {
-			span.End(obs.Attrs{"status": status, "source": source})
+			span.End(obs.Attrs{"status": status, "source": source, "request_id": id})
 		}()
 
 		if resp, ok := s.cache.get(key); ok {
 			source = "hit"
+			written = len(resp.body)
 			s.writeResponse(w, resp, source)
 			return
 		}
@@ -291,6 +424,7 @@ func (s *Server) handleQuery(name string, parse func(q queryValues) (queryReques
 		if resp, ok := s.storeGet(key); ok {
 			source = "store-hit"
 			s.cache.put(key, resp)
+			written = len(resp.body)
 			s.writeResponse(w, resp, source)
 			return
 		}
@@ -305,13 +439,18 @@ func (s *Server) handleQuery(name string, parse func(q queryValues) (queryReques
 			err = &httpError{http.StatusInternalServerError, "solve produced no result"}
 		}
 		if err != nil {
-			status = errorStatus(err)
-			s.writeError(w, err)
+			fail(err)
 			return
 		}
+		complete = resp.complete
+		written = len(resp.body)
 		s.writeResponse(w, resp, source)
 	}
 }
+
+// AccessLogErr returns the access logger's sticky sink error, if any
+// (for end-of-run reporting, the obs.Tracer.Err idiom).
+func (s *Server) AccessLogErr() error { return s.accessLog.Err() }
 
 // solve is the coalescing leader's path: admission, deadline, engines,
 // rendering, cache fill.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -454,9 +455,241 @@ func TestMetricsEndpointServesRegistry(t *testing.T) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("metrics not JSON: %v", err)
 	}
-	for _, name := range []string{"serve.requests", "serve.solves", "serve.cache_misses", "serve.latency_ms.bisection"} {
+	for _, name := range []string{"serve.requests.ok", "serve.solves", "serve.cache_misses", "serve.latency_us.bisection", "runtime.goroutines", "runtime.heap_bytes"} {
 		if _, ok := snap[name]; !ok {
 			t.Errorf("metrics snapshot missing %s", name)
 		}
 	}
+}
+
+// outcomeCount reads one serve.requests.<outcome> counter.
+func outcomeCount(outcome string) int64 { return requestOutcomes[outcome].Value() }
+
+// TestOutcomesCountedAfterValidation is the regression test for the old
+// serve.requests counter firing before method/parse validation: a 400
+// must increment serve.requests.400 and leave the ok counter alone, so
+// rejected garbage is distinguishable from served load.
+func TestOutcomesCountedAfterValidation(t *testing.T) {
+	s := New(Config{})
+	base := startServer(t, s)
+
+	okBefore, badBefore := outcomeCount("ok"), outcomeCount("400")
+	status, _, _ := get(t, base+"/v1/bisection?network=bn&n=7")
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	// The outcome is counted in the handler's deferred block, which can
+	// run after the client sees the response; poll.
+	waitFor(t, func() bool { return outcomeCount("400") == badBefore+1 },
+		"400 outcome never counted")
+	if got := outcomeCount("ok"); got != okBefore {
+		t.Fatalf("ok counter moved on a rejected request: %d -> %d", okBefore, got)
+	}
+
+	// A served solve counts as ok; its cached repeat as cache_hit — and
+	// neither touches the error outcomes.
+	hitBefore := outcomeCount("cache_hit")
+	if status, _, _ := get(t, base+"/v1/bisection?network=bn&n=4"); status != http.StatusOK {
+		t.Fatalf("valid query status = %d", status)
+	}
+	waitFor(t, func() bool { return outcomeCount("ok") == okBefore+1 }, "ok outcome never counted")
+	if status, source, _ := get(t, base+"/v1/bisection?network=bn&n=4"); status != http.StatusOK || source != "hit" {
+		t.Fatalf("repeat: status=%d source=%q", status, source)
+	}
+	waitFor(t, func() bool { return outcomeCount("cache_hit") == hitBefore+1 }, "cache_hit outcome never counted")
+	if got := outcomeCount("400"); got != badBefore+1 {
+		t.Fatalf("400 counter moved on served requests: %d -> %d", badBefore+1, got)
+	}
+}
+
+// TestRequestID: every response carries X-Request-ID — generated when
+// the client sent none, echoed when it sent a well-formed one, replaced
+// when it sent garbage.
+func TestRequestID(t *testing.T) {
+	s := New(Config{})
+	base := startServer(t, s)
+	url := base + "/v1/bisection?network=bn&n=4"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	generated := resp.Header.Get("X-Request-ID")
+	if generated == "" {
+		t.Fatal("no X-Request-ID on a plain request")
+	}
+
+	probe := func(sent string) string {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Request-ID", sent)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-ID")
+	}
+	if got := probe("bench-probe-123"); got != "bench-probe-123" {
+		t.Fatalf("well-formed client ID not echoed: got %q", got)
+	}
+	if got := probe("evil id with spaces"); got == "" || strings.ContainsAny(got, " \n") {
+		t.Fatalf("malformed client ID not replaced: got %q", got)
+	}
+	// Errors carry IDs too — the 400 line in the access log must be
+	// joinable to the client's record.
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/bisection?network=bn&n=7", nil)
+	req.Header.Set("X-Request-ID", "bad-req-7")
+	errResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errResp.Body.Close()
+	if got := errResp.Header.Get("X-Request-ID"); got != "bad-req-7" {
+		t.Fatalf("error response X-Request-ID = %q, want bad-req-7", got)
+	}
+}
+
+// TestStatusz: the status endpoint answers uptime, resolved config,
+// cache occupancy, outcome counters and per-endpoint µs quantiles.
+func TestStatusz(t *testing.T) {
+	s := New(Config{MaxInflight: 3})
+	base := startServer(t, s)
+	if status, _, _ := get(t, base+"/v1/bisection?network=bn&n=4"); status != http.StatusOK {
+		t.Fatal("warm-up query failed")
+	}
+	waitFor(t, func() bool { return s.latencies["bisection"].Snapshot().Count >= 1 },
+		"latency histogram never observed")
+
+	status, _, body := get(t, base+"/debug/statusz")
+	if status != http.StatusOK {
+		t.Fatalf("statusz status = %d", status)
+	}
+	var doc struct {
+		Command string  `json:"command"`
+		UptimeS float64 `json:"uptime_s"`
+		Config  struct {
+			MaxInflight  int   `json:"max_inflight"`
+			CacheEntries int   `json:"cache_entries"`
+			CacheBytes   int64 `json:"cache_bytes"`
+		} `json:"config"`
+		Cache struct {
+			Entries int64 `json:"entries"`
+			Bytes   int64 `json:"bytes"`
+		} `json:"cache"`
+		Outcomes  map[string]int64 `json:"request_outcomes"`
+		Endpoints map[string]struct {
+			Count int64   `json:"count"`
+			P50US float64 `json:"p50_us"`
+			P99US float64 `json:"p99_us"`
+			MaxUS int64   `json:"max_us"`
+		} `json:"endpoints"`
+		Runtime map[string]int64 `json:"runtime"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if doc.Command != "butterflyd" || doc.UptimeS < 0 {
+		t.Fatalf("command=%q uptime=%v", doc.Command, doc.UptimeS)
+	}
+	if doc.Config.MaxInflight != 3 || doc.Config.CacheEntries != 256 {
+		t.Fatalf("config = %+v, want resolved defaults", doc.Config)
+	}
+	if doc.Cache.Entries < 1 || doc.Cache.Bytes <= 0 {
+		t.Fatalf("cache occupancy = %+v, want the warm-up entry", doc.Cache)
+	}
+	ep, ok := doc.Endpoints["bisection"]
+	if !ok || ep.Count < 1 {
+		t.Fatalf("endpoints = %+v, want bisection with count ≥ 1", doc.Endpoints)
+	}
+	if ep.P50US <= 0 || ep.P99US < ep.P50US || float64(ep.MaxUS) < ep.P99US {
+		t.Fatalf("quantiles not sane: %+v", ep)
+	}
+	if doc.Runtime["runtime.goroutines"] <= 0 || doc.Runtime["runtime.heap_bytes"] <= 0 {
+		t.Fatalf("runtime gauges = %+v", doc.Runtime)
+	}
+	if _, ok := doc.Outcomes["ok"]; !ok {
+		t.Fatalf("outcomes = %+v, want an ok counter", doc.Outcomes)
+	}
+}
+
+// TestAccessLog: with Config.AccessLog set, every request (rejections
+// included) writes one JSONL record carrying its ID, outcome, µs latency
+// and canonical key.
+func TestAccessLog(t *testing.T) {
+	var buf syncBuffer
+	s := New(Config{AccessLog: &buf})
+	base := startServer(t, s)
+
+	if status, _, _ := get(t, base+"/v1/bisection?network=bn&n=4"); status != http.StatusOK {
+		t.Fatal("solve query failed")
+	}
+	if status, source, _ := get(t, base+"/v1/bisection?network=bn&n=4"); status != http.StatusOK || source != "hit" {
+		t.Fatal("cache query failed")
+	}
+	if status, _, _ := get(t, base+"/v1/bisection?network=bn&n=7"); status != http.StatusBadRequest {
+		t.Fatal("want a 400")
+	}
+
+	var recs []accessRecord
+	waitFor(t, func() bool {
+		recs = recs[:0]
+		for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var rec accessRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("access log line not JSON: %v\n%s", err, line)
+			}
+			recs = append(recs, rec)
+		}
+		return len(recs) == 3
+	}, "access log never reached 3 records")
+
+	byOutcome := map[string]accessRecord{}
+	for _, rec := range recs {
+		if rec.ID == "" || rec.Time == "" || rec.Endpoint != "bisection" || rec.LatencyUS < 0 {
+			t.Fatalf("bad record: %+v", rec)
+		}
+		byOutcome[rec.Outcome] = rec
+	}
+	okRec, hitRec, badRec := byOutcome["ok"], byOutcome["cache_hit"], byOutcome["400"]
+	if okRec.Status != 200 || !okRec.Complete || okRec.Bytes <= 0 || !strings.HasPrefix(okRec.Key, "bisection?") {
+		t.Fatalf("ok record: %+v", okRec)
+	}
+	if hitRec.Status != 200 || hitRec.Source != "hit" || hitRec.Key != okRec.Key {
+		t.Fatalf("cache_hit record: %+v", hitRec)
+	}
+	if badRec.Status != 400 || badRec.Key != "" {
+		t.Fatalf("400 record: %+v", badRec)
+	}
+	if okRec.ID == hitRec.ID || okRec.ID == badRec.ID {
+		t.Fatalf("request IDs not unique: %q %q %q", okRec.ID, hitRec.ID, badRec.ID)
+	}
+	if err := s.AccessLogErr(); err != nil {
+		t.Fatalf("access log error: %v", err)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the access logger writes
+// from handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
 }

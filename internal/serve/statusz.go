@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statuszEndpoint summarizes one endpoint's client-visible latency from
+// its serve.latency_us histogram: count, interpolated quantiles and the
+// exact observed max, all in microseconds.
+type statuszEndpoint struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+// statuszConfig is the effective (defaults-resolved) serving config —
+// the numbers a bench report needs to interpret 429/503 rates.
+type statuszConfig struct {
+	MaxInflight       int     `json:"max_inflight"`
+	MaxQueue          int     `json:"max_queue"`
+	QueueWaitMS       float64 `json:"queue_wait_ms"`
+	DefaultDeadlineMS float64 `json:"default_deadline_ms"`
+	MaxDeadlineMS     float64 `json:"max_deadline_ms"`
+	CacheEntries      int     `json:"cache_entries"`
+	CacheBytes        int64   `json:"cache_bytes"`
+	StoreConfigured   bool    `json:"store_configured"`
+	AccessLog         bool    `json:"access_log"`
+	Trace             bool    `json:"trace"`
+}
+
+// statuszOccupancy reports current cache (and, when configured, store)
+// fill against the configured bounds.
+type statuszOccupancy struct {
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// statuszDoc is the /debug/statusz document: one GET answers "what is
+// this process, how long has it run, how is it configured, how full are
+// its caches, what has it answered and how fast" — the first page of any
+// incident, without correlating four metric series by hand.
+type statuszDoc struct {
+	Command   string                     `json:"command"`
+	StartTime string                     `json:"start_time"`
+	UptimeS   float64                    `json:"uptime_s"`
+	Draining  bool                       `json:"draining"`
+	Env       obs.Environment            `json:"env"`
+	Config    statuszConfig              `json:"config"`
+	Cache     statuszOccupancy           `json:"cache"`
+	Store     *statuszOccupancy          `json:"store,omitempty"`
+	Outcomes  map[string]int64           `json:"request_outcomes"`
+	Endpoints map[string]statuszEndpoint `json:"endpoints"`
+	Runtime   map[string]int64           `json:"runtime"`
+}
+
+// handleStatusz serves the live status snapshot.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := statuszDoc{
+		Command:   "butterflyd",
+		StartTime: s.startTime.UTC().Format(time.RFC3339),
+		UptimeS:   time.Since(s.startTime).Seconds(),
+		Draining:  s.draining.Load(),
+		Env:       s.env,
+		Config: statuszConfig{
+			MaxInflight:       s.cfg.MaxInflight,
+			MaxQueue:          s.cfg.MaxQueue,
+			QueueWaitMS:       float64(s.cfg.QueueWait) / float64(time.Millisecond),
+			DefaultDeadlineMS: float64(s.cfg.DefaultDeadline) / float64(time.Millisecond),
+			MaxDeadlineMS:     float64(s.cfg.MaxDeadline) / float64(time.Millisecond),
+			CacheEntries:      s.cfg.CacheEntries,
+			CacheBytes:        s.cfg.CacheBytes,
+			StoreConfigured:   s.cfg.Store != nil,
+			AccessLog:         s.accessLog != nil,
+			Trace:             s.cfg.Trace != nil,
+		},
+		Cache: statuszOccupancy{
+			Entries: int64(s.cache.len()),
+			Bytes:   s.cache.totalBytes(),
+		},
+		Outcomes:  make(map[string]int64, len(requestOutcomes)),
+		Endpoints: make(map[string]statuszEndpoint, len(s.latencies)),
+		Runtime:   make(map[string]int64, 3),
+	}
+	for outcome, c := range requestOutcomes {
+		doc.Outcomes[outcome] = c.Value()
+	}
+	// Endpoint names sort only for deterministic iteration of any bugs;
+	// the JSON map marshals sorted regardless.
+	names := make([]string, 0, len(s.latencies))
+	for name := range s.latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := s.latencies[name].Snapshot()
+		mean := float64(0)
+		if snap.Count > 0 {
+			mean = float64(snap.Sum) / float64(snap.Count)
+		}
+		doc.Endpoints[name] = statuszEndpoint{
+			Count:  snap.Count,
+			MeanUS: mean,
+			P50US:  snap.Quantile(0.50),
+			P95US:  snap.Quantile(0.95),
+			P99US:  snap.Quantile(0.99),
+			MaxUS:  snap.Max,
+		}
+	}
+	// The registry snapshot runs the refreshers, so the runtime block
+	// (and store.bytes, published on store mutation) is current.
+	snap := obs.Default.Snapshot()
+	for name, v := range snap {
+		if strings.HasPrefix(name, "runtime.") {
+			if n, ok := v.(int64); ok {
+				doc.Runtime[name] = n
+			}
+		}
+	}
+	if s.cfg.Store != nil {
+		occ := &statuszOccupancy{Entries: int64(s.cfg.Store.Len())}
+		if n, ok := snap["store.bytes"].(int64); ok {
+			occ.Bytes = n
+		}
+		doc.Store = occ
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(data)
+}
