@@ -22,6 +22,14 @@
 //
 //	butterflybench -target http://localhost:8080 -qps 500 -duration 30s \
 //	    -mix zipf-shapes -slo p99=50ms,errors=1% -json bench.json
+//
+// -qps-sweep lo:hi:step replaces the single run with one run per offered
+// rate and reports the latency-vs-offered-load curve (the bench.sweep
+// manifest table) — where achieved rate stops tracking offered rate is
+// the saturation point. SLOs are evaluated at every point:
+//
+//	butterflybench -target http://localhost:8080 -qps-sweep 100:1000:100 \
+//	    -duration 10s -mix zipf-shapes -slo p99=50ms -json sweep.json
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 func main() {
 	target := flag.String("target", "http://localhost:8080", "base URL of the butterflyd under test")
 	qps := flag.Float64("qps", 100, "offered request rate (open loop)")
+	qpsSweep := flag.String("qps-sweep", "", "sweep offered rates lo:hi:step, one run per point (overrides -qps)")
 	duration := flag.Duration("duration", 10*time.Second, "run length; request count is qps x duration")
 	mix := flag.String("mix", "hit-heavy", "request mix: hit-heavy, miss-heavy, zipf-shapes, storm")
 	seed := flag.Int64("seed", 1, "request-sequence seed (same mix+seed = identical workload)")
@@ -51,10 +60,21 @@ func main() {
 
 	profile, perr := loadgen.ParseProfile(*mix)
 	slos, serr := loadgen.ParseSLOs(*sloSpec)
-	cli.Validate(perr, serr)
-	if *qps <= 0 || int(*qps*duration.Seconds()) < 1 {
-		fmt.Fprintf(os.Stderr, "butterflybench: -qps %g over -duration %s plans no requests\n", *qps, *duration)
-		os.Exit(2)
+	var sweep []float64
+	var swerr error
+	if *qpsSweep != "" {
+		sweep, swerr = loadgen.ParseSweep(*qpsSweep)
+	}
+	cli.Validate(perr, serr, swerr)
+	checkRate := []float64{*qps}
+	if sweep != nil {
+		checkRate = sweep
+	}
+	for _, q := range checkRate {
+		if q <= 0 || int(q*duration.Seconds()) < 1 {
+			fmt.Fprintf(os.Stderr, "butterflybench: %g qps over -duration %s plans no requests\n", q, *duration)
+			os.Exit(2)
+		}
 	}
 
 	out.Start("butterflybench")
@@ -82,6 +102,23 @@ func main() {
 		Timeout:  *reqTimeout,
 		SLOs:     slos,
 	}
+
+	if sweep != nil {
+		fmt.Fprintf(os.Stderr, "butterflybench: %s sweep %s (%d points x %s) against %s (seed %d)\n",
+			profile, *qpsSweep, len(sweep), *duration, *target, *seed)
+		points, err := loadgen.RunSweep(ctx, opt, sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+		printSweepSummary(points)
+		out.Finish(loadgen.BuildSweepReport(opt, points))
+		if !loadgen.SweepAllPass(points) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "butterflybench: %s @ %g qps for %s against %s (seed %d)\n",
 		profile, *qps, *duration, *target, *seed)
 	res, err := loadgen.Run(ctx, opt)
@@ -120,6 +157,30 @@ func probe(target, id string, timeout time.Duration) error {
 		return fmt.Errorf("X-Request-ID not echoed: sent %q, got %q", id, got)
 	}
 	return nil
+}
+
+// printSweepSummary renders the latency-vs-offered-load curve, one line
+// per sweep point; the -json manifest carries it as the bench.sweep table.
+func printSweepSummary(points []loadgen.SweepPoint) {
+	fmt.Printf("%10s %10s %9s %8s %9s %9s %9s %6s\n",
+		"offered", "achieved", "completed", "err%", "p50", "p95", "p99", "slo")
+	us := func(v float64) string {
+		return (time.Duration(v) * time.Microsecond).Round(time.Microsecond).String()
+	}
+	for _, p := range points {
+		verdict := "PASS"
+		if !loadgen.AllPass(p.SLOs) {
+			verdict = "FAIL"
+		}
+		if len(p.SLOs) == 0 {
+			verdict = "-"
+		}
+		r := p.Result
+		fmt.Printf("%10.1f %10.1f %9d %7.1f%% %9s %9s %9s %6s\n",
+			p.QPS, r.AchievedQPS, r.Completed, r.ErrorRate()*100,
+			us(r.Overall.Quantile(0.50)), us(r.Overall.Quantile(0.95)),
+			us(r.Overall.Quantile(0.99)), verdict)
+	}
 }
 
 // printSummary renders the human-readable run report on stdout; the

@@ -55,12 +55,24 @@
 // network:loglo-loghi[:exact-nodes] ranges over log2(n), e.g.
 // "bn:3-12,wn:2-8,ccc:3-8".
 //
+// Cluster mode shards the daemon across peers. -cluster-listen ADDR
+// serves the cluster RPC protocol (CRC-framed codec records over TCP) on
+// ADDR: forwarded queries, distributed branch-and-bound shard batches,
+// and incumbent gossip. -peers lists every node's cluster address
+// (identical on all nodes); with -coordinator this node additionally
+// consistent-hashes each canonical request key over the peer ring and
+// forwards queries it does not own — the answer is relayed verbatim with
+// X-Cluster-Peer naming the owner. A peer that stops answering is
+// benched (its keys reassign to the survivors) and queries fall back to
+// local solving, so the cluster degrades instead of failing.
+//
 // Usage:
 //
 //	butterflyd [-addr localhost:8080] [-inflight 0] [-queue 0]
 //	           [-queue-wait 2s] [-default-timeout 10s] [-max-timeout 60s]
 //	           [-cache 256] [-cache-bytes 67108864] [-drain 30s]
 //	           [-store dir] [-precompute grid] [-precompute-workers 0]
+//	           [-cluster-listen addr] [-peers a,b,c] [-coordinator]
 //	           [-trace path] [-access-log path] [-pprof addr]
 package main
 
@@ -74,17 +86,30 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"path/filepath"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// splitPeers parses the -peers list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
@@ -102,6 +127,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write request and solver trace events (JSONL) to this path")
 	accessLogPath := flag.String("access-log", "", "append one JSON line per query request to this path (\"-\" = stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof + /debug/metrics on this extra address")
+	clusterListen := flag.String("cluster-listen", "", "serve the cluster RPC protocol on this address (peer mode)")
+	peers := flag.String("peers", "", "comma-separated cluster addresses of every peer, this node included")
+	coordinator := flag.Bool("coordinator", false, "consistent-hash request keys over -peers and forward queries to their owners")
 	flag.Parse()
 
 	cli.Validate(
@@ -112,6 +140,15 @@ func main() {
 	)
 	if *precompute != "" && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "butterflyd: -precompute requires -store")
+		os.Exit(2)
+	}
+	peerList := splitPeers(*peers)
+	if *coordinator && len(peerList) == 0 {
+		fmt.Fprintln(os.Stderr, "butterflyd: -coordinator requires -peers")
+		os.Exit(2)
+	}
+	if len(peerList) > 0 && *clusterListen == "" {
+		fmt.Fprintln(os.Stderr, "butterflyd: -peers requires -cluster-listen (this node's own cluster address)")
 		os.Exit(2)
 	}
 
@@ -167,6 +204,16 @@ func main() {
 		}
 	}
 
+	// Cluster wiring: the router (built first — the server config needs
+	// it) forwards keys this node does not own; the node handler (built
+	// after — it dispatches into the server's mux) answers forwarded
+	// queries, shard batches and gossip on -cluster-listen.
+	clusterTr := &cluster.TCPTransport{}
+	var peerRouter serve.PeerRouter
+	if *coordinator {
+		peerRouter = cluster.NewRouter(*clusterListen, peerList, clusterTr, *maxTimeout, 2)
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInflight:     *inflight,
 		MaxQueue:        *queue,
@@ -178,7 +225,25 @@ func main() {
 		Store:           st,
 		Trace:           tracer,
 		AccessLog:       accessLog,
+		Peers:           peerRouter,
 	})
+
+	var clusterLn net.Listener
+	if *clusterListen != "" {
+		node := cluster.NewNode(*clusterListen, srv.Handler(), clusterTr, 0)
+		var cerr error
+		clusterLn, cerr = net.Listen("tcp", *clusterListen)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: -cluster-listen: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "butterflyd: cluster RPC on %s (%d peers)\n", clusterLn.Addr(), len(peerList))
+		go func() {
+			if serr := cluster.ServeTransport(clusterLn, node.Handle); serr != nil {
+				fmt.Fprintf(os.Stderr, "butterflyd: cluster: %v\n", serr)
+			}
+		}()
+	}
 
 	if *precompute != "" {
 		runPrecompute(srv, st, *precompute, *precomputeWorkers, traceFile, tracer)
@@ -209,6 +274,9 @@ func main() {
 	stop() // a second signal now kills the process the default way
 
 	fmt.Fprintf(os.Stderr, "butterflyd: draining (up to %s)\n", *drain)
+	if clusterLn != nil {
+		_ = clusterLn.Close() // stop accepting peer RPCs before the drain
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled shrinks the distributed-search instances: the race
+// detector multiplies branch-and-bound wall clock by an order of
+// magnitude, and the cluster machinery is exercised identically on the
+// small graphs.
+const raceEnabled = true

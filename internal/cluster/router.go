@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+var (
+	metricForwarded     = obs.NewCounter("cluster.forwarded")
+	metricForwardErrors = obs.NewCounter("cluster.forward_errors")
+)
+
+// Router consistent-hashes canonical serve keys across the peer ring and
+// proxies each query to its owner. It implements serve.PeerRouter.
+//
+// Failure policy: a peer that stays unreachable through the retry budget
+// is benched for a cooldown — its keys rendezvous-reassign to the
+// remaining peers — and the triggering request falls back to a local
+// solve, trading strict ownership for availability.
+type Router struct {
+	self    string
+	ring    *Ring
+	tr      Transport
+	timeout time.Duration
+	retries int
+
+	mu        sync.Mutex
+	deadUntil map[string]time.Time
+}
+
+// deadPeerCooldown is how long a failed peer stays out of the ring
+// before forwarding is attempted again.
+const deadPeerCooldown = 5 * time.Second
+
+// NewRouter builds the router for one node. self must appear in peers
+// for this node to own any keys; timeout bounds each forwarding attempt
+// (≤0: 10s); retries is the per-request attempt budget (≤0: 2).
+func NewRouter(self string, peers []string, tr Transport, timeout time.Duration, retries int) *Router {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if retries <= 0 {
+		retries = 2
+	}
+	return &Router{
+		self:      self,
+		ring:      NewRing(peers),
+		tr:        tr,
+		timeout:   timeout,
+		retries:   retries,
+		deadUntil: make(map[string]time.Time),
+	}
+}
+
+// Self returns this node's cluster address.
+func (rt *Router) Self() string { return rt.self }
+
+func (rt *Router) alive(addr string) bool {
+	if addr == rt.self {
+		return true
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return time.Now().After(rt.deadUntil[addr])
+}
+
+func (rt *Router) bench(addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.deadUntil[addr] = time.Now().Add(deadPeerCooldown)
+}
+
+// Owner exposes the ring decision for key among currently alive peers
+// (tests and status surfaces).
+func (rt *Router) Owner(key string) (string, bool) {
+	return rt.ring.Owner(key, rt.alive)
+}
+
+// Route implements serve.PeerRouter.
+func (rt *Router) Route(r *http.Request, key string) (*serve.PeerResponse, bool, error) {
+	if r.Header.Get(InternalHeader) != "" {
+		// Already forwarded once: answer here no matter what the ring
+		// says, or ownership skew between peers would loop the request.
+		return nil, false, nil
+	}
+	owner, ok := rt.ring.Owner(key, rt.alive)
+	if !ok || owner == rt.self {
+		return nil, false, nil
+	}
+	body := queryMsg{Path: r.URL.Path, RawQuery: r.URL.RawQuery}.encode()
+	_, rb, err := callRetry(r.Context(), rt.tr, owner, msgQuery, body, rt.retries, rt.timeout)
+	if err != nil {
+		metricForwardErrors.Inc()
+		rt.bench(owner)
+		return nil, false, nil
+	}
+	reply, err := decodeQueryOK(rb)
+	if err != nil {
+		metricForwardErrors.Inc()
+		return nil, false, err
+	}
+	metricForwarded.Inc()
+	return &serve.PeerResponse{
+		Status: int(reply.Status),
+		Body:   reply.Body,
+		Source: reply.Source,
+		Peer:   owner,
+	}, true, nil
+}

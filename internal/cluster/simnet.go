@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSimDropped is a simulated lost message. When the request direction
+// drops, the handler never ran; when the reply direction drops, the
+// handler DID run and its side effects stand — exactly the asymmetry
+// that makes retried RPCs demand idempotent handlers, which the seeded
+// sim tests exercise on purpose.
+var ErrSimDropped = errors.New("cluster: sim: message dropped")
+
+// SimNet is the deterministic in-process network harness: every peer is
+// a registered handler, every call round-trips through the real wire
+// codec (encode → decode both directions, so framing bugs surface in sim
+// tests too), and message loss comes from one seeded splitmix64 stream.
+// Peers can be killed and revived to model crashes. Safe for concurrent
+// use; the drop stream is serialized under the lock, so a fixed seed
+// yields a reproducible loss *rate* while concurrency decides which
+// particular calls lose the draw.
+type SimNet struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	down     map[string]bool
+	drop     float64
+	rng      uint64
+}
+
+// NewSimNet builds a harness dropping each message direction
+// independently with probability drop, from the stream seeded by seed.
+func NewSimNet(seed uint64, drop float64) *SimNet {
+	return &SimNet{
+		handlers: make(map[string]Handler),
+		down:     make(map[string]bool),
+		drop:     drop,
+		rng:      seed,
+	}
+}
+
+// Register attaches addr's handler (a peer joining the simulated net).
+func (s *SimNet) Register(addr string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[addr] = h
+}
+
+// SetDown kills or revives a peer. Calls to a down peer fail with
+// ErrPeerDown — a refused connection, not a timeout.
+func (s *SimNet) SetDown(addr string, down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down[addr] = down
+}
+
+// coin advances the seeded stream one step under the lock.
+func (s *SimNet) coin() bool {
+	s.rng = mix64(s.rng + 0x9e3779b97f4a7c15)
+	return s.drop > 0 && float64(s.rng>>11)/float64(1<<53) < s.drop
+}
+
+func (s *SimNet) Call(ctx context.Context, addr string, t MsgType, body []byte) (MsgType, []byte, error) {
+	if ctx.Err() != nil {
+		return "", nil, ctx.Err()
+	}
+	// Round-trip the request through the real frame codec: the sim must
+	// not be able to pass bytes the socket transport would reject.
+	rt, rb, err := decodeFrame(encodeFrame(t, body))
+	if err != nil {
+		return "", nil, err
+	}
+	s.mu.Lock()
+	h, ok := s.handlers[addr]
+	down := s.down[addr]
+	dropReq := s.coin()
+	dropReply := s.coin()
+	s.mu.Unlock()
+	if !ok || down {
+		return "", nil, fmt.Errorf("%w: %s (sim)", ErrPeerDown, addr)
+	}
+	if dropReq {
+		metricDropped.Inc()
+		return "", nil, fmt.Errorf("%w (request to %s)", ErrSimDropped, addr)
+	}
+	ht, hb, herr := h(ctx, rt, rb)
+	if herr != nil {
+		ht, hb = msgErr, errMsg{Msg: herr.Error()}.encode()
+	}
+	if dropReply {
+		metricDropped.Inc()
+		return "", nil, fmt.Errorf("%w (reply from %s)", ErrSimDropped, addr)
+	}
+	return decodeFrame(encodeFrame(ht, hb))
+}

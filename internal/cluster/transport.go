@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	metricCalls      = obs.NewCounter("cluster.calls")
+	metricCallErrors = obs.NewCounter("cluster.call_errors")
+	metricDropped    = obs.NewCounter("cluster.sim_dropped")
+)
+
+// ErrPeerDown is a connection-level refusal: the peer is not listening
+// (dead, or simnet-killed). Distinct from a timeout so callers can mark
+// peers dead faster on refusal than on silence.
+var ErrPeerDown = errors.New("cluster: peer down")
+
+// Handler serves one inbound message and returns the reply. A returned
+// error travels to the caller as a RemoteError.
+type Handler func(ctx context.Context, t MsgType, body []byte) (MsgType, []byte, error)
+
+// Transport calls a peer: one request message, one reply message. The
+// TCP implementation backs real deployments; SimNet backs deterministic
+// lossy-cluster tests. Implementations must be safe for concurrent use.
+type Transport interface {
+	Call(ctx context.Context, addr string, t MsgType, body []byte) (MsgType, []byte, error)
+}
+
+// call performs one transport exchange with the shared bookkeeping:
+// metrics, msgErr unwrapping.
+func call(ctx context.Context, tr Transport, addr string, t MsgType, body []byte) (MsgType, []byte, error) {
+	metricCalls.Inc()
+	rt, rb, err := tr.Call(ctx, addr, t, body)
+	if err != nil {
+		metricCallErrors.Inc()
+		return "", nil, err
+	}
+	if rt == msgErr {
+		metricCallErrors.Inc()
+		em, derr := decodeErrMsg(rb)
+		if derr != nil {
+			return "", nil, derr
+		}
+		return "", nil, &RemoteError{Msg: em.Msg}
+	}
+	return rt, rb, nil
+}
+
+// callRetry retries a call up to attempts times under a per-attempt
+// timeout — the unit of fault tolerance every cluster exchange goes
+// through. Context cancellation is terminal; transport failures (drops,
+// timeouts, refusals) are retried.
+func callRetry(ctx context.Context, tr Transport, addr string, t MsgType, body []byte, attempts int, timeout time.Duration) (MsgType, []byte, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			return "", nil, ctx.Err()
+		}
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		var rt MsgType
+		var rb []byte
+		rt, rb, err = call(actx, tr, addr, t, body)
+		cancel()
+		if err == nil {
+			return rt, rb, nil
+		}
+		var rerr *RemoteError
+		if errors.As(err, &rerr) {
+			// The peer handled the message and rejected it; retrying the
+			// same bytes cannot succeed.
+			return "", nil, err
+		}
+	}
+	return "", nil, fmt.Errorf("cluster: %s to %s failed after %d attempts: %w", t, addr, attempts, err)
+}
+
+// TCPTransport is the socket transport: one connection per call, the
+// frame written whole, the write side closed, the reply read to EOF.
+// Per-call connections keep the protocol trivially correct under peer
+// restarts — there is no stream state to resynchronize.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment (≤0: 2s). The overall
+	// exchange is bounded by the caller's context.
+	DialTimeout time.Duration
+}
+
+func (t *TCPTransport) Call(ctx context.Context, addr string, mt MsgType, body []byte) (MsgType, []byte, error) {
+	dt := t.DialTimeout
+	if dt <= 0 {
+		dt = 2 * time.Second
+	}
+	dctx, cancel := context.WithTimeout(ctx, dt)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrPeerDown, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	if _, err := conn.Write(encodeFrame(mt, body)); err != nil {
+		return "", nil, fmt.Errorf("cluster: writing to %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	reply, err := io.ReadAll(io.LimitReader(conn, maxFrameBytes+1))
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: reading from %s: %w", addr, err)
+	}
+	if len(reply) > maxFrameBytes {
+		return "", nil, fmt.Errorf("%w: reply exceeds %d bytes", ErrWire, maxFrameBytes)
+	}
+	return decodeFrame(reply)
+}
+
+// ServeTransport answers cluster calls on ln with h until ln closes.
+// Each connection is one exchange: read the request frame to EOF, run
+// the handler, write the reply frame, close.
+func ServeTransport(ln net.Listener, h Handler) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	req, err := io.ReadAll(io.LimitReader(conn, maxFrameBytes+1))
+	if err != nil || len(req) > maxFrameBytes {
+		return
+	}
+	t, body, err := decodeFrame(req)
+	var rt MsgType
+	var rb []byte
+	if err == nil {
+		rt, rb, err = h(context.Background(), t, body)
+	}
+	if err != nil {
+		rt, rb = msgErr, errMsg{Msg: err.Error()}.encode()
+	}
+	_, _ = conn.Write(encodeFrame(rt, rb))
+}

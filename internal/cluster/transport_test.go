@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTCPTransportLoopback drives the real socket transport against a
+// real listener: a well-formed call round-trips, a handler failure comes
+// back as a RemoteError (terminal — callRetry must not burn attempts on
+// it), and a dead address is an immediate transport error.
+func TestTCPTransportLoopback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(ln.Addr().String(), nil, nil, 0)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ServeTransport(ln, node.Handle) }()
+	t.Cleanup(func() {
+		ln.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("ServeTransport: %v", err)
+		}
+	})
+
+	tr := &TCPTransport{DialTimeout: time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Offer for an unknown search: valid exchange, Known=false.
+	body := offerMsg{SearchID: 1, Best: 3, Witness: []int{0}}.encode()
+	rt, rb, err := tr.Call(ctx, ln.Addr().String(), msgOffer, body)
+	if err != nil {
+		t.Fatalf("offer over TCP: %v", err)
+	}
+	if rt != msgOfferOK {
+		t.Fatalf("reply type %q, want %q", rt, msgOfferOK)
+	}
+	ok, err := decodeOfferOK(rb)
+	if err != nil || ok.Known {
+		t.Fatalf("reply = %+v, %v; want Known=false", ok, err)
+	}
+
+	// A handler error surfaces as RemoteError through call().
+	_, _, err = call(ctx, tr, ln.Addr().String(), MsgType("no-such-type"), nil)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("handler failure came back as %v, want RemoteError", err)
+	}
+
+	// A query against a node with no serve mux is a remote error too.
+	_, _, err = call(ctx, tr, ln.Addr().String(), msgQuery,
+		queryMsg{Path: "/v1/bisection", RawQuery: "network=wn&n=4"}.encode())
+	if !errors.As(err, &remote) {
+		t.Fatalf("mux-less query came back as %v, want RemoteError", err)
+	}
+
+	// Nobody listening: transport error, not a hang.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if _, _, err := tr.Call(ctx, deadAddr, msgOffer, body); err == nil {
+		t.Fatal("call to closed port succeeded")
+	}
+}

@@ -63,6 +63,11 @@ const (
 	// KindRouteIndex is a compiled directed-edge CSR routing index
 	// (internal/route snapshot records).
 	KindRouteIndex Kind = 3
+	// KindClusterMsg is one internal/cluster wire message: the key names
+	// the message type, the payload is its binary body. Cluster peers
+	// exchange exactly one such record per connection direction, so every
+	// cross-node byte rides the same CRC-framed format as the store.
+	KindClusterMsg Kind = 4
 )
 
 // Decoder error classes. Wrapping errors carry position context; test

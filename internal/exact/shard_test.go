@@ -1,0 +1,232 @@
+package exact
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cut"
+	"repro/internal/graph"
+	"repro/internal/solve"
+	"repro/internal/topology"
+)
+
+// runAllShards runs every shard of (g, spec) through the shard API and
+// returns the final incumbent.
+func runAllShards(t *testing.T, g *graph.Graph, spec ExpansionShardSpec, batch int) (int, []int) {
+	t.Helper()
+	count := ExpansionShardCount(g, spec)
+	if count < 1 {
+		t.Fatalf("ExpansionShardCount = %d, want ≥ 1", count)
+	}
+	si := NewShardIncumbent(g, spec, nil)
+	for lo := 0; lo < count; lo += batch {
+		hi := lo + batch
+		if hi > count {
+			hi = count
+		}
+		ids := make([]int, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			ids = append(ids, id)
+		}
+		out := SearchExpansionShards(g, spec, ids, 2, si, nil)
+		if !out.Complete {
+			t.Fatalf("shards %v incomplete without cancellation", ids)
+		}
+	}
+	return si.Best()
+}
+
+// The union of all shards must certify exactly what the single-process
+// parallel engine certifies — same value, and a witness achieving it.
+func TestShardUnionMatchesParallelEngine(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		k    int
+		edge bool
+		root int
+	}{
+		{"EE-B8-k4", 4, true, -1},
+		{"EE-B8-k7", 7, true, -1},
+		{"NE-B8-k5", 5, false, -1},
+		{"EE-B8-k6-rooted", 6, true, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := topology.NewButterfly(8).Graph
+			spec := ExpansionShardSpec{K: tc.k, Edge: tc.edge, Root: tc.root}
+			val, set := runAllShards(t, g, spec, 3)
+
+			var wantSet []int
+			var want int
+			switch {
+			case tc.root >= 0 && tc.edge:
+				wantSet, want = MinEdgeExpansionParallelContaining(g, tc.k, tc.root, 2)
+			case tc.edge:
+				wantSet, want = MinEdgeExpansionParallel(g, tc.k, 2)
+			default:
+				wantSet, want = MinNodeExpansionParallel(g, tc.k, 2)
+			}
+			if val != want {
+				t.Fatalf("shard union found %d, engine found %d", val, want)
+			}
+			if len(set) != tc.k {
+				t.Fatalf("witness has %d nodes, want %d", len(set), tc.k)
+			}
+			if tc.root >= 0 {
+				found := false
+				for _, v := range set {
+					if v == tc.root {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("witness %v misses forced root %d", set, tc.root)
+				}
+			}
+			var got int
+			if tc.edge {
+				got = cut.EdgeBoundary(g, set)
+			} else {
+				got = len(cut.NodeBoundary(g, set))
+			}
+			if got != val {
+				t.Fatalf("witness %v achieves %d, incumbent claims %d", set, got, val)
+			}
+			_ = wantSet
+		})
+	}
+}
+
+// A tight bound offered from outside before the search starts must not
+// change the certified optimum — remote pruning is sound.
+func TestShardSearchWithOfferedBound(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	spec := ExpansionShardSpec{K: 6, Edge: true, Root: -1}
+
+	wantSet, want := MinEdgeExpansionParallel(g, 6, 2)
+
+	si := NewShardIncumbent(g, spec, nil)
+	// Seed the exact optimum with its witness, as a remote peer would.
+	if !si.Offer(want, wantSet) {
+		t.Fatalf("Offer(%d) rejected against fresh incumbent", want)
+	}
+	count := ExpansionShardCount(g, spec)
+	ids := make([]int, count)
+	for i := range ids {
+		ids[i] = i
+	}
+	out := SearchExpansionShards(g, spec, ids, 2, si, nil)
+	if !out.Complete {
+		t.Fatal("search incomplete without cancellation")
+	}
+	val, set := si.Best()
+	if val != want {
+		t.Fatalf("seeded search ended at %d, want %d", val, want)
+	}
+	if got := cut.EdgeBoundary(g, set); got != want {
+		t.Fatalf("final witness achieves %d, want %d", got, want)
+	}
+	if out.Explored >= 0 && out.Pruned < 0 {
+		t.Fatalf("telemetry went negative: %+v", out)
+	}
+}
+
+// Offer must be monotone: stale and duplicate values never loosen the
+// incumbent, improvements always tighten it, concurrently.
+func TestShardIncumbentOfferMonotone(t *testing.T) {
+	g := topology.NewButterfly(4).Graph
+	si := NewShardIncumbent(g, ExpansionShardSpec{K: 3, Edge: true, Root: -1}, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := 3 + (seed+i*7)%10 // values 3..12, replayed out of order
+				si.Offer(v, []int{0, 1, v})
+			}
+		}(w)
+	}
+	wg.Wait()
+	val, set := si.Best()
+	if val != 3 {
+		t.Fatalf("incumbent = %d after replayed offers, want 3", val)
+	}
+	if len(set) != 3 || set[2] != 3 {
+		t.Fatalf("witness %v does not match best offer", set)
+	}
+	if si.Offer(3, []int{9, 9, 9}) {
+		t.Fatal("Offer accepted a non-improving duplicate")
+	}
+}
+
+// Cancellation mid-batch must surface as Complete=false, never as a
+// silently partial "certificate".
+func TestShardSearchCancellation(t *testing.T) {
+	g := topology.NewWrappedButterfly(8).Graph
+	spec := ExpansionShardSpec{K: 8, Edge: true, Root: -1}
+	si := NewShardIncumbent(g, spec, nil)
+	mon := solve.Start(solve.Options{})
+	defer mon.Close()
+	mon.Stop()
+
+	count := ExpansionShardCount(g, spec)
+	ids := make([]int, count)
+	for i := range ids {
+		ids[i] = i
+	}
+	out := SearchExpansionShards(g, spec, ids, 2, si, mon)
+	if out.Complete {
+		t.Fatal("stopped search reported Complete=true")
+	}
+}
+
+// Shard ids outside the enumeration mean the parties disagree about the
+// search geometry; that must fail loudly.
+func TestShardSearchRejectsBadIDs(t *testing.T) {
+	g := topology.NewButterfly(4).Graph
+	spec := ExpansionShardSpec{K: 3, Edge: true, Root: -1}
+	si := NewShardIncumbent(g, spec, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range shard id did not panic")
+		}
+	}()
+	SearchExpansionShards(g, spec, []int{ExpansionShardCount(g, spec)}, 1, si, nil)
+}
+
+// The local-improvement hook must fire with private witness copies and
+// never echo offered bounds.
+func TestShardIncumbentOnImprove(t *testing.T) {
+	g := topology.NewButterfly(8).Graph
+	spec := ExpansionShardSpec{K: 4, Edge: true, Root: -1}
+
+	var mu sync.Mutex
+	var gossip [][]int
+	si := NewShardIncumbent(g, spec, func(val int, set []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		gossip = append(gossip, append([]int{val}, set...))
+	})
+	count := ExpansionShardCount(g, spec)
+	ids := make([]int, count)
+	for i := range ids {
+		ids[i] = i
+	}
+	SearchExpansionShards(g, spec, ids, 2, si, nil)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gossip) == 0 {
+		t.Fatal("no improvements gossiped from a fresh search")
+	}
+	last := gossip[len(gossip)-1]
+	val, _ := si.Best()
+	if last[0] != val {
+		t.Fatalf("last gossiped value %d != final incumbent %d", last[0], val)
+	}
+	n := len(gossip)
+	if si.Offer(0, []int{0, 1, 2, 3}) && len(gossip) != n {
+		t.Fatal("Offer echoed through the onImprove hook")
+	}
+}

@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxSweepPoints bounds a sweep: a typo like "1:100000:1" must fail fast
+// instead of scheduling a week of bench runs.
+const maxSweepPoints = 64
+
+// ParseSweep parses a "lo:hi:step" QPS sweep spec into its offered-rate
+// points, inclusive of hi when the step lands on it exactly.
+func ParseSweep(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("loadgen: sweep %q: want lo:hi:step", spec)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep %q: %q is not a number", spec, p)
+		}
+		vals[i] = v
+	}
+	lo, hi, step := vals[0], vals[1], vals[2]
+	if lo <= 0 || hi < lo || step <= 0 {
+		return nil, fmt.Errorf("loadgen: sweep %q: need 0 < lo ≤ hi and step > 0", spec)
+	}
+	if n := (hi-lo)/step + 1; n > maxSweepPoints {
+		return nil, fmt.Errorf("loadgen: sweep %q plans %.0f points, max %d", spec, n, maxSweepPoints)
+	}
+	var points []float64
+	// Index-based stepping avoids accumulating float error across points;
+	// the epsilon admits hi itself when step divides the range exactly.
+	for i := 0; ; i++ {
+		q := lo + float64(i)*step
+		if q > hi*(1+1e-9) {
+			break
+		}
+		points = append(points, q)
+	}
+	return points, nil
+}
+
+// SweepPoint is one offered-load point of a finished sweep.
+type SweepPoint struct {
+	QPS    float64
+	Result *Result
+	SLOs   []SLOResult
+}
+
+// RunSweep benches each offered rate in sequence, one full Options run
+// per point (same mix, seed and duration — only the rate varies), and
+// evaluates opt.SLOs against every point separately. Cancelling ctx ends
+// the sweep after the in-flight point; the completed points are returned
+// alongside the context error.
+func RunSweep(ctx context.Context, opt Options, points []float64) ([]SweepPoint, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep has no points")
+	}
+	out := make([]SweepPoint, 0, len(points))
+	for _, qps := range points {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		po := opt
+		po.QPS = qps
+		res, err := Run(ctx, po)
+		if err != nil {
+			return out, fmt.Errorf("loadgen: sweep point %g qps: %w", qps, err)
+		}
+		out = append(out, SweepPoint{QPS: qps, Result: res, SLOs: res.Evaluate(opt.SLOs)})
+	}
+	return out, nil
+}
+
+// SweepAllPass reports whether every point of the sweep met every SLO.
+func SweepAllPass(points []SweepPoint) bool {
+	for _, p := range points {
+		if !AllPass(p.SLOs) {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepRow is one line of the latency-vs-offered-load table: the curve a
+// capacity plan reads off — where achieved rate stops tracking offered
+// rate, and what the tail does on the way there.
+type sweepRow struct {
+	OfferedQPS     float64 `json:"offered_qps"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	Planned        int     `json:"planned"`
+	Completed      int     `json:"completed"`
+	ErrorRate      float64 `json:"error_rate"`
+	BehindSchedule int     `json:"behind_schedule"`
+	MeanUS         float64 `json:"mean_us"`
+	P50US          float64 `json:"p50_us"`
+	P95US          float64 `json:"p95_us"`
+	P99US          float64 `json:"p99_us"`
+	MaxUS          int64   `json:"max_us"`
+	SLOPass        bool    `json:"slo_pass"`
+}
+
+func sweepRowFrom(p SweepPoint) sweepRow {
+	lat := latencyRowFrom("overall", p.Result.Overall)
+	return sweepRow{
+		OfferedQPS:     p.QPS,
+		AchievedQPS:    p.Result.AchievedQPS,
+		Planned:        p.Result.Planned,
+		Completed:      p.Result.Completed,
+		ErrorRate:      p.Result.ErrorRate(),
+		BehindSchedule: p.Result.BehindSchedule,
+		MeanUS:         lat.MeanUS,
+		P50US:          lat.P50US,
+		P95US:          lat.P95US,
+		P99US:          lat.P99US,
+		MaxUS:          lat.MaxUS,
+		SLOPass:        AllPass(p.SLOs),
+	}
+}
+
+// BuildSweepReport assembles the sweep manifest: the shared config, the
+// bench.sweep latency-vs-offered-load table, and per-point SLO verdicts
+// (point column = offered QPS). Single-point detail tables are deliberately
+// omitted — a sweep answers "where does it saturate", not "what happened
+// at 500 qps"; rerun the single-point mode for that.
+func BuildSweepReport(opt Options, points []SweepPoint) *obs.Manifest {
+	opt = opt.withDefaults()
+	m := obs.NewManifest("butterflybench")
+	m.Seed = opt.Seed
+	planned := 0
+	if len(points) > 0 {
+		planned = points[0].Result.Planned
+	}
+	m.AddTable("bench.config", "load harness configuration (per sweep point)", []configRow{{
+		BaseURL:    opt.BaseURL,
+		Mix:        string(opt.Profile),
+		Seed:       opt.Seed,
+		OfferedQPS: 0, // varies: see bench.sweep
+		DurationMS: float64(opt.Duration) / float64(time.Millisecond),
+		Planned:    planned,
+		TimeoutMS:  float64(opt.Timeout) / float64(time.Millisecond),
+	}})
+	rows := make([]sweepRow, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, sweepRowFrom(p))
+	}
+	m.AddTable("bench.sweep", "latency vs offered load", rows)
+	type sloPointRow struct {
+		OfferedQPS float64 `json:"offered_qps"`
+		SLOResult
+	}
+	var sloRows []sloPointRow
+	for _, p := range points {
+		for _, s := range p.SLOs {
+			sloRows = append(sloRows, sloPointRow{OfferedQPS: p.QPS, SLOResult: s})
+		}
+	}
+	if sloRows == nil {
+		sloRows = []sloPointRow{}
+	}
+	m.AddTable("bench.slo", "SLO evaluation per sweep point", sloRows)
+	return m
+}

@@ -1,0 +1,137 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+func TestParseSweep(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []float64
+	}{
+		{"100:300:100", []float64{100, 200, 300}},
+		{"50:50:10", []float64{50}},
+		{"10:25:10", []float64{10, 20}},
+		{"0.5:2:0.5", []float64{0.5, 1, 1.5, 2}},
+	} {
+		got, err := loadgen.ParseSweep(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSweep(%q): %v", tc.spec, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("ParseSweep(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+		for i := range got {
+			if diff := got[i] - tc.want[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("ParseSweep(%q)[%d] = %g, want %g", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, bad := range []string{
+		"", "100", "100:200", "a:b:c", "0:100:10", "-5:100:10",
+		"100:50:10", "100:200:0", "100:200:-10", "1:100000:1", "1:2:3:4",
+	} {
+		if _, err := loadgen.ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunSweepEndToEnd drives a two-point sweep against a live daemon and
+// checks the per-point results, per-point SLO evaluation, and the
+// bench.sweep manifest table (one row per offered rate, in order).
+func TestRunSweepEndToEnd(t *testing.T) {
+	base := startDaemon(t)
+	slos, err := loadgen.ParseSLOs("p99=30s,errors=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := loadgen.Options{
+		BaseURL:  base,
+		Profile:  loadgen.HitHeavy,
+		Seed:     1,
+		Duration: 250 * time.Millisecond,
+		Timeout:  10 * time.Second,
+		SLOs:     slos,
+	}
+	points, err := loadgen.RunSweep(context.Background(), opt, []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	for i, want := range []float64{100, 200} {
+		p := points[i]
+		if p.QPS != want {
+			t.Fatalf("point %d offered %g, want %g", i, p.QPS, want)
+		}
+		if p.Result.Completed != p.Result.Planned || p.Result.Planned < 1 {
+			t.Fatalf("point %d: completed %d of %d", i, p.Result.Completed, p.Result.Planned)
+		}
+		if len(p.SLOs) != len(slos) {
+			t.Fatalf("point %d: %d SLO results, want %d", i, len(p.SLOs), len(slos))
+		}
+	}
+	if points[1].Result.Planned <= points[0].Result.Planned {
+		t.Fatalf("higher rate planned fewer requests: %d vs %d",
+			points[1].Result.Planned, points[0].Result.Planned)
+	}
+	if !loadgen.SweepAllPass(points) {
+		t.Fatalf("loose SLOs failed somewhere: %+v", points)
+	}
+
+	m := loadgen.BuildSweepReport(opt, points)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := obs.DecodeManifest(&buf)
+	if err != nil {
+		t.Fatalf("sweep report is not a valid run manifest: %v", err)
+	}
+	sweepTable := dec.Table("bench.sweep")
+	if sweepTable == nil {
+		t.Fatal("report missing bench.sweep")
+	}
+	rows, ok := sweepTable.Rows.([]interface{})
+	if !ok || len(rows) != 2 {
+		t.Fatalf("bench.sweep rows = %#v, want 2 rows", sweepTable.Rows)
+	}
+	for i, want := range []float64{100, 200} {
+		row, ok := rows[i].(map[string]interface{})
+		if !ok {
+			t.Fatalf("sweep row %d = %#v", i, rows[i])
+		}
+		if got := row["offered_qps"].(float64); got != want {
+			t.Fatalf("sweep row %d offered_qps = %v, want %g", i, got, want)
+		}
+		if row["p99_us"].(float64) < row["p50_us"].(float64) {
+			t.Fatalf("sweep row %d: p99 < p50: %v", i, row)
+		}
+		if pass, ok := row["slo_pass"].(bool); !ok || !pass {
+			t.Fatalf("sweep row %d: slo_pass = %v", i, row["slo_pass"])
+		}
+	}
+	if dec.Table("bench.config") == nil || dec.Table("bench.slo") == nil {
+		t.Fatal("report missing bench.config or bench.slo")
+	}
+
+	// Cancellation mid-sweep keeps the finished points.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := loadgen.RunSweep(ctx, opt, []float64{100, 200})
+	if err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	if len(done) != 0 {
+		// ctx was dead before the first point; nothing should have run.
+		t.Fatalf("cancelled-before-start sweep ran %d points", len(done))
+	}
+}

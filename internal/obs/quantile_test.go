@@ -82,7 +82,7 @@ func TestQuantileMonotoneFuzz(t *testing.T) {
 		n := int(next()%500) + 1
 		shift := next() % 40
 		for i := 0; i < n; i++ {
-			h.Observe(int64(next() >> (24 + shift % 40)))
+			h.Observe(int64(next() >> (24 + shift%40)))
 		}
 		s := h.Snapshot()
 		prev := -1.0

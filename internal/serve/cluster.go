@@ -1,0 +1,32 @@
+package serve
+
+import "net/http"
+
+// PeerRouter shards canonical request keys across a cluster of
+// butterflyd peers. The serve layer stays transport-agnostic: it hands
+// the router the request and the canonical key, and either relays the
+// owning peer's response or answers locally. internal/cluster provides
+// the implementation; the indirection keeps the import pointing from
+// cluster to serve, never back.
+type PeerRouter interface {
+	// Route resolves key's owner and, when it is a remote peer, returns
+	// that peer's response. ok is false when this node should answer
+	// locally: it owns the key, the request already arrived from a peer,
+	// or the owner is unreachable and local solving is the fallback.
+	Route(r *http.Request, key string) (resp *PeerResponse, ok bool, err error)
+	// Self is this node's cluster address — the X-Cluster-Peer value of
+	// locally answered responses.
+	Self() string
+}
+
+// PeerResponse is an owning peer's answer, relayed verbatim.
+type PeerResponse struct {
+	// Status is the peer's HTTP status; Body its exact response bytes —
+	// a forwarded answer is byte-identical to asking the owner directly.
+	Status int
+	Body   []byte
+	// Source is the peer's X-Cache disposition (hit, store-hit, miss...).
+	Source string
+	// Peer is the address that answered — the X-Cluster-Peer provenance.
+	Peer string
+}

@@ -56,12 +56,13 @@ var (
 //	cache_hit  answered from the LRU
 //	store_hit  answered from the persistent store
 //	coalesced  attached to another request's in-flight solve
+//	peer       relayed from the cluster peer owning the key
 //	timeout    200 but budget/drain-truncated (best-so-far rows)
 //	400/405/422/429/500/503  rejected or failed, by status
 var requestOutcomes = func() map[string]*obs.Counter {
 	m := make(map[string]*obs.Counter)
 	for _, o := range []string{
-		"ok", "cache_hit", "store_hit", "coalesced", "timeout",
+		"ok", "cache_hit", "store_hit", "coalesced", "peer", "timeout",
 		"400", "405", "422", "429", "500", "503",
 	} {
 		m[o] = obs.NewCounter("serve.requests." + o)
@@ -88,6 +89,8 @@ func classifyOutcome(status int, source string, complete bool) string {
 		return "store_hit"
 	case "coalesced":
 		return "coalesced"
+	case "peer":
+		return "peer"
 	}
 	return "ok"
 }
@@ -125,6 +128,12 @@ type Config struct {
 	// /v1/* request: request ID, endpoint, canonical key, status, outcome,
 	// X-Cache source, µs latency and bytes written.
 	AccessLog io.Writer
+	// Peers, when non-nil, shards canonical keys across a cluster: after
+	// the local cache and store miss, the handler asks the router for the
+	// owning peer's response and relays it verbatim (X-Cluster-Peer
+	// carries the provenance). Requests the router declines — locally
+	// owned, already forwarded once, or the owner is down — solve here.
+	Peers PeerRouter
 }
 
 func (c Config) withDefaults() Config {
@@ -429,8 +438,39 @@ func (s *Server) handleQuery(name string, parse func(q queryValues) (queryReques
 			return
 		}
 
+		// Cluster mode: a key this node does not own is answered by its
+		// owning peer and relayed verbatim — byte-identical to asking the
+		// owner directly. The relayed body is deliberately not cached
+		// here, so each result occupies cluster cache capacity once. When
+		// the router declines (local key, forwarded-in request, owner
+		// down), fall through to the local solve.
+		if s.cfg.Peers != nil {
+			if pr, fwd, rerr := s.cfg.Peers.Route(r, key); rerr == nil && fwd {
+				status = pr.Status
+				source = "peer"
+				written = len(pr.Body)
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.Header().Set("X-Cache", source)
+				w.Header().Set("X-Cluster-Peer", pr.Peer)
+				if pr.Status != http.StatusOK {
+					w.WriteHeader(pr.Status)
+				}
+				_, _ = w.Write(pr.Body)
+				return
+			}
+			w.Header().Set("X-Cluster-Peer", s.cfg.Peers.Self())
+		}
+
 		resp, shared, err := s.flight.do(r.Context(), key, func() (*response, error) {
-			return s.solve(r.Context(), name, key, req, deadline)
+			// The leader's solve must not die with the leader's client:
+			// coalesced followers with live deadlines still want the
+			// answer (and so does the cache). Detach onto the server
+			// lifetime, bounded by the worst-case queue wait plus this
+			// request's solve budget; the leader's own disconnect is
+			// irrelevant past this point.
+			ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueueWait+deadline)
+			defer cancel()
+			return s.solve(ctx, name, key, req, deadline)
 		})
 		if shared {
 			source = "coalesced"
@@ -453,9 +493,12 @@ func (s *Server) handleQuery(name string, parse func(q queryValues) (queryReques
 func (s *Server) AccessLogErr() error { return s.accessLog.Err() }
 
 // solve is the coalescing leader's path: admission, deadline, engines,
-// rendering, cache fill.
-func (s *Server) solve(reqCtx context.Context, name, key string, req queryRequest, deadline time.Duration) (*response, error) {
-	release, err := s.admit(reqCtx)
+// rendering, cache fill. callCtx is the detached per-solve context the
+// handler built (server lifetime bounded by queue wait + budget), NOT
+// the leader's client context — a leader disconnect must not poison the
+// followers coalesced behind it, in the queue or mid-solve.
+func (s *Server) solve(callCtx context.Context, name, key string, req queryRequest, deadline time.Duration) (*response, error) {
+	release, err := s.admit(callCtx)
 	if err != nil {
 		return nil, err
 	}
